@@ -1,0 +1,98 @@
+// Command jdvs-bench regenerates the paper's evaluation artifacts (§3)
+// against the real system and prints paper-style tables and series.
+//
+// Usage:
+//
+//	jdvs-bench -experiment table1 [-events N]
+//	jdvs-bench -experiment fig11  [-events N] [-day 12s]
+//	jdvs-bench -experiment fig12  [-duration 3s] [-products N] [-rate N]
+//	jdvs-bench -experiment fig13  [-duration 2s] [-products N]
+//	jdvs-bench -experiment all
+//
+// Scale flags default to laptop-friendly sizes; raise -products /-events
+// for a full-size run (the paper's testbed indexes 100,000 images).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jdvs/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jdvs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "which artifact to regenerate: table1, fig11, fig12, fig13, all")
+		events     = flag.Int("events", 0, "update events for table1/fig11 (0 = default scale)")
+		day        = flag.Duration("day", 0, "real duration of fig11's simulated day (0 = default 12s)")
+		duration   = flag.Duration("duration", 0, "measurement window per setting for fig12/fig13 (0 = defaults)")
+		products   = flag.Int("products", 0, "catalog size for fig12/fig13 (0 = default 4000)")
+		partitions = flag.Int("partitions", 0, "searcher partitions (0 = experiment default)")
+		rate       = flag.Int("rate", 0, "fig12 concurrent update load in events/sec (0 = default 2000)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	runOne := func(name string) error {
+		started := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		defer func() { fmt.Printf("--- %s done in %s ---\n\n", name, time.Since(started).Round(time.Millisecond)) }()
+		switch name {
+		case "table1":
+			res, err := experiments.RunTable1(experiments.Table1Config{
+				Events: *events, Partitions: *partitions, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig11":
+			res, err := experiments.RunFig11(experiments.Fig11Config{
+				Events: *events, DayDuration: *day, Partitions: *partitions, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig12":
+			res, err := experiments.RunFig12(experiments.Fig12Config{
+				Duration: *duration, Products: *products, Partitions: *partitions,
+				UpdateRate: *rate, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig13":
+			res, err := experiments.RunFig13(experiments.Fig13Config{
+				Duration: *duration, Products: *products, Partitions: *partitions, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		default:
+			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, all)", name)
+		}
+		return nil
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig11", "fig12", "fig13"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*experiment)
+}

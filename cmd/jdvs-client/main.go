@@ -1,0 +1,85 @@
+// Command jdvs-client queries a running cluster (local or multi-process):
+// it regenerates the shared synthetic catalog, takes a fresh "camera
+// photo" of a chosen product, and prints the ranked results.
+//
+//	jdvs-client -addr 127.0.0.1:7001 -query-product 42 -k 6
+//
+// The catalog flags must match the jdvs-indexer run that built the index —
+// they define the shared synthetic world.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/core"
+	"jdvs/internal/search/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jdvs-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7001", "frontend (or blender) address")
+		products   = flag.Int("products", 5_000, "catalog size (must match the indexer)")
+		categories = flag.Int("categories", 12, "catalog categories (must match the indexer)")
+		seed       = flag.Int64("seed", 1, "catalog seed (must match the indexer)")
+		queryIdx   = flag.Int("query-product", 42, "index of the product to photograph")
+		k          = flag.Int("k", 6, "results wanted")
+		nprobe     = flag.Int("nprobe", 0, "inverted lists probed per searcher (0 = server default)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "query timeout")
+	)
+	flag.Parse()
+
+	cat, err := catalog.Generate(catalog.Config{
+		Products: *products, Categories: *categories, Seed: *seed,
+	}, nil) // nil store: we only need latents to photograph, not blobs
+	if err != nil {
+		return fmt.Errorf("regenerate catalog: %w", err)
+	}
+	if *queryIdx < 0 || *queryIdx >= len(cat.Products) {
+		return fmt.Errorf("-query-product %d out of range [0,%d)", *queryIdx, len(cat.Products))
+	}
+	target := &cat.Products[*queryIdx]
+
+	c, err := client.Dial(*addr, 2)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := c.Query(ctx, &core.QueryRequest{
+		ImageBlob:     cat.QueryImage(target).Encode(),
+		TopK:          *k,
+		NProbe:        *nprobe,
+		CategoryScope: core.AllCategories,
+	})
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	fmt.Printf("photo of product %d (%s) -> %d results in %s (%d candidates scanned)\n\n",
+		target.ID, cat.CategoryName(target.Category), len(resp.Hits),
+		time.Since(t0).Round(time.Microsecond), resp.Scanned)
+	fmt.Printf("%4s  %9s  %-12s  %8s  %8s  %7s  %9s\n", "rank", "product", "category", "dist", "score", "sales", "price")
+	for i, h := range resp.Hits {
+		marker := " "
+		if h.ProductID == target.ID {
+			marker = "*"
+		}
+		fmt.Printf("%3d%s  %9d  %-12s  %8.4f  %8.4f  %7d  ¥%8.2f\n",
+			i+1, marker, h.ProductID, cat.CategoryName(h.Category), h.Dist, h.Score, h.Sales, float64(h.PriceCents)/100)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Command jdvsd runs one node of the search hierarchy (Fig. 10) as its own
+// process, for multi-process / multi-host deployment. Bring a cluster up
+// tier by tier:
+//
+//	jdvs-indexer -out /tmp/jdvs -partitions 2 -products 5000
+//	jdvsd -role searcher -addr :7101 -partition 0 -snapshot /tmp/jdvs/part0.snap &
+//	jdvsd -role searcher -addr :7102 -partition 1 -snapshot /tmp/jdvs/part1.snap &
+//	jdvsd -role broker   -addr :7201 -searchers "127.0.0.1:7101;127.0.0.1:7102" &
+//	jdvsd -role blender  -addr :7301 -brokers 127.0.0.1:7201 &
+//	jdvsd -role frontend -addr :7001 -blenders 127.0.0.1:7301 &
+//	jdvs-client -addr 127.0.0.1:7001 -query-product 42
+//
+// Searcher address lists: partitions are separated by ';', replicas of one
+// partition by ','.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"jdvs/internal/cnn"
+	"jdvs/internal/core"
+	"jdvs/internal/index"
+	"jdvs/internal/ranking"
+	"jdvs/internal/search/blender"
+	"jdvs/internal/search/broker"
+	"jdvs/internal/search/frontend"
+	"jdvs/internal/search/searcher"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jdvsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role      = flag.String("role", "", "node role: searcher, broker, blender, frontend")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
+		partition = flag.Int("partition", 0, "searcher: partition number")
+		snapshot  = flag.String("snapshot", "", "searcher: snapshot file to serve")
+		dim       = flag.Int("dim", cnn.DefaultDim, "searcher/blender: feature dimensionality")
+		nlists    = flag.Int("nlists", 64, "searcher: IVF lists (must match the snapshot)")
+		searchers = flag.String("searchers", "", "broker: searcher addresses, ';' between partitions, ',' between replicas")
+		brokers   = flag.String("brokers", "", "blender: comma-separated broker addresses")
+		blenders  = flag.String("blenders", "", "frontend: comma-separated blender addresses")
+		fseed     = flag.Int64("feature-seed", 42, "blender: CNN weight seed (must match the indexer)")
+	)
+	flag.Parse()
+
+	var (
+		boundAddr string
+		closer    func()
+	)
+	switch *role {
+	case "searcher":
+		if *snapshot == "" {
+			return fmt.Errorf("searcher needs -snapshot")
+		}
+		shard, err := index.New(index.Config{Dim: *dim, NLists: *nlists})
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			return err
+		}
+		err = shard.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load snapshot: %w", err)
+		}
+		node, err := searcher.New(searcher.Config{
+			Partition: core.PartitionID(*partition),
+			Shard:     shard,
+			Addr:      *addr,
+		})
+		if err != nil {
+			return err
+		}
+		boundAddr, closer = node.Addr(), node.Close
+		st := shard.Stats()
+		fmt.Printf("searcher partition %d serving %d images (%d valid) on %s\n",
+			*partition, st.Images, st.ValidImages, boundAddr)
+
+	case "broker":
+		if *searchers == "" {
+			return fmt.Errorf("broker needs -searchers")
+		}
+		var groups [][]string
+		for _, group := range strings.Split(*searchers, ";") {
+			var replicas []string
+			for _, a := range strings.Split(group, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					replicas = append(replicas, a)
+				}
+			}
+			if len(replicas) > 0 {
+				groups = append(groups, replicas)
+			}
+		}
+		node, err := broker.New(broker.Config{PartitionReplicas: groups, Addr: *addr})
+		if err != nil {
+			return err
+		}
+		boundAddr, closer = node.Addr(), node.Close
+		fmt.Printf("broker serving %d partitions on %s\n", len(groups), boundAddr)
+
+	case "blender":
+		if *brokers == "" {
+			return fmt.Errorf("blender needs -brokers")
+		}
+		node, err := blender.New(blender.Config{
+			Brokers:   splitAddrs(*brokers),
+			Extractor: cnn.New(cnn.Config{Dim: *dim, Seed: *fseed}),
+			Ranker:    ranking.New(ranking.DefaultWeights()),
+			Addr:      *addr,
+		})
+		if err != nil {
+			return err
+		}
+		boundAddr, closer = node.Addr(), node.Close
+		fmt.Printf("blender over %d brokers on %s\n", len(splitAddrs(*brokers)), boundAddr)
+
+	case "frontend":
+		if *blenders == "" {
+			return fmt.Errorf("frontend needs -blenders")
+		}
+		node, err := frontend.New(frontend.Config{Blenders: splitAddrs(*blenders), Addr: *addr})
+		if err != nil {
+			return err
+		}
+		boundAddr, closer = node.Addr(), node.Close
+		fmt.Printf("frontend over %d blenders on %s\n", len(splitAddrs(*blenders)), boundAddr)
+
+	default:
+		return fmt.Errorf("unknown -role %q (want searcher, broker, blender, frontend)", *role)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	closer()
+	return nil
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Quickstart: boot a complete in-process visual search cluster over a
+// synthetic catalog, photograph a product, and ask "what looks like this?"
+//
+//	go run ./examples/quickstart
+//
+// Everything real is here — the Blender → Broker → Searcher hierarchy over
+// TCP, the IVF index, the message queue, the feature pipeline — just scaled
+// to a laptop.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"jdvs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	start := time.Now()
+	cl, err := jdvs.Start(jdvs.Config{
+		Partitions: 4, // searcher partitions (paper testbed: 20)
+		Brokers:    2,
+		Blenders:   2,
+		Catalog: jdvs.CatalogConfig{
+			Products:   2_000,
+			Categories: 12,
+			Seed:       1,
+		},
+	})
+	if err != nil {
+		log.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+	fmt.Printf("cluster up in %s: %d partitions, frontend at %s\n",
+		time.Since(start).Round(time.Millisecond), cl.Partitions(), cl.FrontendAddr())
+
+	c, err := cl.Client()
+	if err != nil {
+		log.Fatalf("dial frontend: %v", err)
+	}
+	defer c.Close()
+
+	// Take a fresh "camera photo" of a product the index has never seen
+	// this exact picture of, and search.
+	target := &cl.Catalog.Products[42]
+	photo := cl.Catalog.QueryImage(target)
+	fmt.Printf("\nquerying with a new photo of product %d (%s, ¥%.2f)\n\n",
+		target.ID, cl.Catalog.CategoryName(target.Category), float64(target.PriceCents)/100)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := c.Query(ctx, jdvs.NewQuery(photo.Encode(), 6))
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Printf("top %d similar products in %s (%d candidates scanned across %d inverted lists):\n\n",
+		len(resp.Hits), time.Since(t0).Round(time.Microsecond), resp.Scanned, resp.Probed)
+	fmt.Printf("%4s  %9s  %-12s  %8s  %8s  %7s  %8s\n",
+		"rank", "product", "category", "dist", "score", "sales", "price")
+	for i, h := range resp.Hits {
+		marker := " "
+		if h.ProductID == target.ID {
+			marker = "*" // the product we photographed
+		}
+		fmt.Printf("%3d%s  %9d  %-12s  %8.4f  %8.4f  %7d  ¥%7.2f\n",
+			i+1, marker, h.ProductID, cl.Catalog.CategoryName(h.Category),
+			h.Dist, h.Score, h.Sales, float64(h.PriceCents)/100)
+	}
+	fmt.Println("\n(*) the photographed product — visual search found it among",
+		len(cl.Catalog.Products), "products")
+}

@@ -1,0 +1,307 @@
+package jdvs_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jdvs"
+	"jdvs/internal/msg"
+	"jdvs/internal/workload"
+)
+
+// TestCategoryScopedQueryEndToEnd drives the §2.4 pipeline: the blender
+// detects the item, classifies it, and restricts the search to the
+// predicted category.
+func TestCategoryScopedQueryEndToEnd(t *testing.T) {
+	cl := startCluster(t, jdvs.Config{
+		Partitions: 3,
+		NLists:     16,
+		Catalog:    jdvs.CatalogConfig{Products: 400, Categories: 8, Seed: 61},
+	})
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	correctScope := 0
+	const trials = 15
+	for i := 0; i < trials; i++ {
+		target := &cl.Catalog.Products[i*13%len(cl.Catalog.Products)]
+		resp, err := c.Query(ctx, jdvs.NewScopedQuery(cl.Catalog.QueryImage(target).Encode(), 8))
+		if err != nil {
+			t.Fatalf("scoped query %d: %v", i, err)
+		}
+		if len(resp.Hits) == 0 {
+			continue
+		}
+		allSame := true
+		for _, h := range resp.Hits {
+			if h.Category != resp.Hits[0].Category {
+				allSame = false
+			}
+		}
+		if !allSame {
+			t.Fatalf("scoped query %d returned mixed categories: %+v", i, resp.Hits)
+		}
+		if resp.Hits[0].Category == target.Category {
+			correctScope++
+		}
+	}
+	// The classifier is a nearest-prototype simulation; demand a strong
+	// majority, not perfection.
+	if correctScope < trials*7/10 {
+		t.Fatalf("classifier scoped correctly in %d/%d queries", correctScope, trials)
+	}
+}
+
+// TestSearcherCrashDegradesGracefully kills one partition's only searcher
+// mid-load: queries must keep succeeding with reduced coverage, and the
+// dead partition's products disappear rather than erroring the query.
+func TestSearcherCrashDegradesGracefully(t *testing.T) {
+	cl := startCluster(t, jdvs.Config{
+		Partitions: 3,
+		NLists:     16,
+		Catalog:    jdvs.CatalogConfig{Products: 300, Categories: 6, Seed: 67},
+	})
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	query := func() *jdvs.SearchResponse {
+		t.Helper()
+		blob := cl.Catalog.QueryImage(&cl.Catalog.Products[1]).Encode()
+		resp, err := c.Query(ctx, jdvs.NewQuery(blob, 30))
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		return resp
+	}
+	before := query()
+	if len(before.Hits) == 0 {
+		t.Fatal("no hits before crash")
+	}
+
+	cl.Searcher(1, 0).Close() // partition 1 is gone
+	for i := 0; i < 5; i++ {
+		resp := query()
+		for _, h := range resp.Hits {
+			if h.Image.Partition == 1 {
+				t.Fatalf("hit from crashed partition: %+v", h)
+			}
+		}
+	}
+}
+
+// TestConcurrentQueriesAndUpdatesStress runs the full production workload
+// shape at once: query clients + a Table 1 update stream + periodic full
+// reindex, all against one cluster. Run with -race.
+func TestConcurrentQueriesAndUpdatesStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	var applied atomic.Int64
+	cl := startCluster(t, jdvs.Config{
+		Partitions: 3,
+		NLists:     16,
+		Catalog:    jdvs.CatalogConfig{Products: 500, Categories: 8, Seed: 71},
+		OnApplied: func(u *msg.ProductUpdate, kind string, reused bool, lat time.Duration) {
+			applied.Add(1)
+		},
+	})
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Query blobs are pre-generated before anything touches the catalog
+	// concurrently: the mix generator owns the catalog (its rng, its
+	// product slice) once the updater goroutine starts.
+	blobs := make([][]byte, 32)
+	{
+		rng := rand.New(rand.NewSource(17))
+		for i := range blobs {
+			blobs[i] = cl.Catalog.QueryImage(&cl.Catalog.Products[rng.Intn(500)]).Encode()
+		}
+	}
+
+	// Updates: the Table 1 mix, full speed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := workload.NewMix(workload.MixConfig{Seed: 3}, cl.Catalog, cl.Images)
+		for i := 0; i < 3_000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u, _, _, err := gen.Next()
+			if err != nil {
+				t.Errorf("mix: %v", err)
+				return
+			}
+			u.EventTimeNanos = time.Now().UnixNano()
+			if err := cl.Publish(u); err != nil {
+				t.Errorf("publish: %v", err)
+				return
+			}
+		}
+	}()
+	var queries atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Query(ctx, jdvs.NewQuery(blobs[rng.Intn(len(blobs))], 10)); err != nil {
+					t.Errorf("query under stress: %v", err)
+					return
+				}
+				queries.Add(1)
+			}
+		}(w)
+	}
+
+	// One full reindex in the middle of it all.
+	time.Sleep(100 * time.Millisecond)
+	if err := cl.Reindex(); err != nil {
+		t.Fatalf("reindex under stress: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if queries.Load() == 0 || applied.Load() == 0 {
+		t.Fatalf("stress exercised nothing: %d queries, %d updates", queries.Load(), applied.Load())
+	}
+}
+
+// TestFreshProductSearchableAfterExtraction covers the fresh-add path end
+// to end: a brand-new product (never in the catalog, never extracted) is
+// published through the queue and must become searchable, this time with
+// real CNN work.
+func TestFreshProductSearchableAfterExtraction(t *testing.T) {
+	cl := startCluster(t, jdvs.Config{
+		Partitions: 2,
+		NLists:     16,
+		Catalog:    jdvs.CatalogConfig{Products: 200, Categories: 6, Seed: 73},
+	})
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	fresh, err := cl.Catalog.NewProduct(999_999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Catalog.UploadImages(&fresh, cl.Images); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := cl.Features.Stats()
+	if err := cl.Publish(cl.AddProductEvent(&fresh)); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+	_, missesAfter := cl.Features.Stats()
+	if got := missesAfter - missesBefore; got != int64(len(fresh.ImageURLs)) {
+		t.Fatalf("fresh add extracted %d features, want %d", got, len(fresh.ImageURLs))
+	}
+
+	blob, err := cl.Images.Get(fresh.ImageURLs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(ctx, jdvs.NewQuery(blob, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range resp.Hits {
+		if h.ProductID == fresh.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fresh product not searchable after extraction")
+	}
+}
+
+// TestHitsCarryCompleteAttributes checks every field the ranking and the
+// UI depend on survives the three-tier trip.
+func TestHitsCarryCompleteAttributes(t *testing.T) {
+	cl := startCluster(t, jdvs.Config{
+		Partitions: 2,
+		NLists:     16,
+		Catalog:    jdvs.CatalogConfig{Products: 150, Categories: 4, Seed: 79},
+	})
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	byID := map[uint64]*jdvs.Product{}
+	for i := range cl.Catalog.Products {
+		byID[cl.Catalog.Products[i].ID] = &cl.Catalog.Products[i]
+	}
+	blob := cl.Catalog.QueryImage(&cl.Catalog.Products[3]).Encode()
+	resp, err := c.Query(ctx, jdvs.NewQuery(blob, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range resp.Hits {
+		p, ok := byID[h.ProductID]
+		if !ok {
+			t.Fatalf("hit for unknown product %d", h.ProductID)
+		}
+		if h.Category != p.Category || h.Sales != p.Sales || h.PriceCents != p.PriceCents {
+			t.Fatalf("hit attrs diverge from catalog: %+v vs %+v", h, p)
+		}
+		if h.URL == "" || h.Score == 0 {
+			t.Fatalf("incomplete hit: %+v", h)
+		}
+		found := false
+		for _, u := range p.ImageURLs {
+			if u == h.URL {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("hit URL %q not among product %d's images", h.URL, p.ID)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package bitmapx
+
+import "testing"
+
+// BenchmarkSetClear measures the §2.3 deletion/re-listing primitive: one
+// atomic bit flip.
+func BenchmarkSetClear(b *testing.B) {
+	bm := New(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint32(i) & (1<<20 - 1)
+		if i&1 == 0 {
+			bm.Set(id)
+		} else {
+			bm.Clear(id)
+		}
+	}
+}
+
+// BenchmarkGet measures the validity check on the search scan path.
+func BenchmarkGet(b *testing.B) {
+	bm := New(1 << 20)
+	for i := uint32(0); i < 1<<20; i += 2 {
+		bm.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var valid int
+	for i := 0; i < b.N; i++ {
+		if bm.Get(uint32(i) & (1<<20 - 1)) {
+			valid++
+		}
+	}
+	if valid < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkGetParallel models many search threads filtering concurrently.
+func BenchmarkGetParallel(b *testing.B) {
+	bm := New(1 << 20)
+	for i := uint32(0); i < 1<<20; i += 3 {
+		bm.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint32(0)
+		for pb.Next() {
+			bm.Get(i & (1<<20 - 1))
+			i += 7
+		}
+	})
+}

@@ -1,0 +1,513 @@
+// Package cluster wires the full system of Fig. 1 into a running topology:
+// a synthetic catalog feeding the message queue, the full-indexing
+// bootstrap, P×R searcher nodes (P partitions × R replicas), brokers over
+// partition subsets, blenders over all brokers, and one front-end load
+// balancer — all communicating over real TCP sockets.
+//
+// The default topology mirrors the paper's testbed shape (§3.2: 1 Nginx
+// front end, 6 blender/broker servers, 20 searchers) scaled to whatever the
+// caller asks for.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cnn"
+	"jdvs/internal/core"
+	"jdvs/internal/featuredb"
+	"jdvs/internal/imagestore"
+	"jdvs/internal/imaging"
+	"jdvs/internal/index"
+	"jdvs/internal/indexer"
+	"jdvs/internal/mq"
+	"jdvs/internal/msg"
+	"jdvs/internal/ranking"
+	"jdvs/internal/search/blender"
+	"jdvs/internal/search/broker"
+	"jdvs/internal/search/client"
+	"jdvs/internal/search/frontend"
+	"jdvs/internal/search/searcher"
+)
+
+// Config sizes a cluster. Zero values take the defaults noted.
+type Config struct {
+	// Partitions is the number of index partitions / searcher groups
+	// (default 4).
+	Partitions int
+	// Replicas is the number of searchers per partition (default 1) —
+	// "each partition can have multiple copies for availability" (§2.4).
+	Replicas int
+	// Brokers is the broker count (default 2); partition p is served by
+	// broker p mod Brokers.
+	Brokers int
+	// Blenders is the blender count (default 2).
+	Blenders int
+
+	// Dim is the feature dimensionality (default cnn.DefaultDim).
+	Dim int
+	// NLists is the IVF cluster count per shard (default 64).
+	NLists int
+	// DefaultNProbe is the per-searcher probe width (default 8).
+	DefaultNProbe int
+
+	// FeatureSeed seeds the shared CNN so all tiers embed identically.
+	FeatureSeed int64
+	// ExtractWork is the simulated CNN cost factor (extra forward passes
+	// per extraction; default 0).
+	ExtractWork int
+
+	// Catalog configures the synthetic corpus indexed at bootstrap.
+	Catalog catalog.Config
+
+	// RealTime enables the searchers' real-time indexing loops
+	// (default true; set DisableRealTime to turn off — the "W/O Real Time
+	// Index" baseline of Fig. 12).
+	DisableRealTime bool
+
+	// OnApplied observes applied real-time updates on the primary replica
+	// of every partition (harnesses build Table 1 / Fig. 11 from it).
+	OnApplied searcher.AppliedFunc
+}
+
+func (c *Config) fill() {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Brokers <= 0 {
+		c.Brokers = 2
+	}
+	if c.Brokers > c.Partitions {
+		c.Brokers = c.Partitions
+	}
+	if c.Blenders <= 0 {
+		c.Blenders = 2
+	}
+	if c.Dim <= 0 {
+		c.Dim = cnn.DefaultDim
+	}
+	if c.NLists <= 0 {
+		c.NLists = 64
+	}
+	if c.DefaultNProbe <= 0 {
+		c.DefaultNProbe = 8
+	}
+}
+
+// Cluster is a running system.
+type Cluster struct {
+	cfg Config
+
+	Queue     *mq.Queue
+	Images    *imagestore.Store
+	Features  *featuredb.DB
+	Extractor *cnn.Extractor
+	Catalog   *catalog.Catalog
+
+	resolver  *indexer.Resolver
+	searchers [][]*searcher.Searcher // [partition][replica]
+	brokers   []*broker.Broker
+	blenders  []*blender.Blender
+	front     *frontend.Frontend
+
+	seq atomic.Uint64
+}
+
+// Start builds the corpus, runs the initial full indexing, and brings the
+// whole topology up. Callers must Close the cluster.
+func Start(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{
+		cfg:      cfg,
+		Queue:    mq.New(),
+		Images:   imagestore.New(),
+		Features: featuredb.New(),
+		Extractor: cnn.New(cnn.Config{
+			Dim:        cfg.Dim,
+			Seed:       cfg.FeatureSeed,
+			WorkFactor: cfg.ExtractWork,
+		}),
+	}
+	c.resolver = &indexer.Resolver{DB: c.Features, Images: c.Images, Extractor: c.Extractor}
+
+	if err := c.Queue.CreateTopic(indexer.UpdatesTopic, cfg.Partitions); err != nil {
+		return nil, err
+	}
+
+	// Corpus: generate the catalog and enqueue the initial listing events —
+	// the "day's message log" the first full indexing replays.
+	cat, err := catalog.Generate(cfg.Catalog, c.Images)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: generate catalog: %w", err)
+	}
+	c.Catalog = cat
+	for i := range cat.Products {
+		if _, err := indexer.RouteUpdate(c.Queue, c.AddProductEvent(&cat.Products[i])); err != nil {
+			return nil, fmt.Errorf("cluster: bootstrap feed: %w", err)
+		}
+	}
+
+	// Full indexing (Figs. 2–3).
+	full, err := indexer.NewFull(indexer.FullConfig{
+		Partitions: cfg.Partitions,
+		Shard: index.Config{
+			Dim:           cfg.Dim,
+			NLists:        cfg.NLists,
+			DefaultNProbe: cfg.DefaultNProbe,
+		},
+		Seed: cfg.FeatureSeed,
+	}, c.resolver)
+	if err != nil {
+		return nil, err
+	}
+	shards, _, err := full.Build(c.Queue)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: full indexing: %w", err)
+	}
+
+	if err := c.startTiers(shards); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// startTiers launches searchers, brokers, blenders and the frontend over
+// the freshly built shards.
+func (c *Cluster) startTiers(shards []*index.Shard) error {
+	cfg := c.cfg
+
+	// Searchers: replica 0 serves the built shard; further replicas load a
+	// snapshot copy so they maintain independent index state.
+	c.searchers = make([][]*searcher.Searcher, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		startOffset, err := c.Queue.Len(indexer.UpdatesTopic, p)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < cfg.Replicas; r++ {
+			shard := shards[p]
+			if r > 0 {
+				shard, err = cloneShard(shards[p])
+				if err != nil {
+					return fmt.Errorf("cluster: clone partition %d: %w", p, err)
+				}
+			}
+			var queue *mq.Queue
+			if !cfg.DisableRealTime {
+				queue = c.Queue
+			}
+			var onApplied searcher.AppliedFunc
+			if r == 0 {
+				onApplied = cfg.OnApplied
+			}
+			s, err := searcher.New(searcher.Config{
+				Partition:   core.PartitionID(p),
+				Shard:       shard,
+				Resolver:    c.resolver,
+				Queue:       queue,
+				StartOffset: startOffset,
+				OnApplied:   onApplied,
+			})
+			if err != nil {
+				return fmt.Errorf("cluster: start searcher p%d r%d: %w", p, r, err)
+			}
+			c.searchers[p] = append(c.searchers[p], s)
+		}
+	}
+
+	// Brokers: broker j serves partitions p where p mod Brokers == j.
+	for j := 0; j < cfg.Brokers; j++ {
+		var groups [][]string
+		for p := j; p < cfg.Partitions; p += cfg.Brokers {
+			var replicas []string
+			for _, s := range c.searchers[p] {
+				replicas = append(replicas, s.Addr())
+			}
+			groups = append(groups, replicas)
+		}
+		b, err := broker.New(broker.Config{PartitionReplicas: groups})
+		if err != nil {
+			return fmt.Errorf("cluster: start broker %d: %w", j, err)
+		}
+		c.brokers = append(c.brokers, b)
+	}
+
+	brokerAddrs := make([]string, len(c.brokers))
+	for i, b := range c.brokers {
+		brokerAddrs[i] = b.Addr()
+	}
+
+	classifier, err := c.buildClassifier()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cfg.Blenders; i++ {
+		bl, err := blender.New(blender.Config{
+			Brokers:    brokerAddrs,
+			Extractor:  c.Extractor,
+			Classifier: classifier,
+			Ranker:     ranking.New(ranking.DefaultWeights()),
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: start blender %d: %w", i, err)
+		}
+		c.blenders = append(c.blenders, bl)
+	}
+
+	blenderAddrs := make([]string, len(c.blenders))
+	for i, b := range c.blenders {
+		blenderAddrs[i] = b.Addr()
+	}
+	front, err := frontend.New(frontend.Config{Blenders: blenderAddrs})
+	if err != nil {
+		return fmt.Errorf("cluster: start frontend: %w", err)
+	}
+	c.front = front
+	return nil
+}
+
+// buildClassifier derives category prototypes by extracting features from a
+// clean (noise-free) render of each category's prototype latent.
+func (c *Cluster) buildClassifier() (*cnn.Classifier, error) {
+	if len(c.Catalog.Categories) == 0 {
+		return nil, errors.New("cluster: catalog has no categories")
+	}
+	dim := c.Extractor.Dim()
+	protos := make([]float32, 0, len(c.Catalog.Categories)*dim)
+	rng := rand.New(rand.NewSource(c.cfg.FeatureSeed + 1))
+	for _, cat := range c.Catalog.Categories {
+		img := imaging.Generate(rng, cat.Prototype, cat.ID, imaging.GenConfig{Noise: 1e-4, PayloadBytes: 64})
+		f, err := c.Extractor.Extract(img)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: prototype extract: %w", err)
+		}
+		protos = append(protos, f...)
+	}
+	return cnn.NewClassifier(dim, protos)
+}
+
+// cloneShard deep-copies a shard via its snapshot codec.
+func cloneShard(s *index.Shard) (*index.Shard, error) {
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	dup, err := index.New(s.Config())
+	if err != nil {
+		return nil, err
+	}
+	if err := dup.LoadSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return dup, nil
+}
+
+// FrontendAddr returns the cluster's single client-facing endpoint.
+func (c *Cluster) FrontendAddr() string { return c.front.Addr() }
+
+// Client dials the frontend.
+func (c *Cluster) Client() (*client.Client, error) {
+	return client.Dial(c.front.Addr(), 4)
+}
+
+// Searcher returns the replica r searcher of partition p (for failure
+// injection in tests).
+func (c *Cluster) Searcher(p, r int) *searcher.Searcher { return c.searchers[p][r] }
+
+// Partitions returns the partition count.
+func (c *Cluster) Partitions() int { return c.cfg.Partitions }
+
+// Replicas returns the per-partition replica count.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// nextSeq mints a monotone event sequence number.
+func (c *Cluster) nextSeq() uint64 { return c.seq.Add(1) }
+
+// AddProductEvent builds the listing event for p (all images).
+func (c *Cluster) AddProductEvent(p *catalog.Product) *msg.ProductUpdate {
+	return &msg.ProductUpdate{
+		Type:           msg.TypeAddProduct,
+		ProductID:      p.ID,
+		Category:       p.Category,
+		Sales:          p.Sales,
+		Praise:         p.Praise,
+		PriceCents:     p.PriceCents,
+		ImageURLs:      append([]string(nil), p.ImageURLs...),
+		EventTimeNanos: time.Now().UnixNano(),
+		Seq:            c.nextSeq(),
+	}
+}
+
+// RemoveProductEvent builds the delisting event for p.
+func (c *Cluster) RemoveProductEvent(p *catalog.Product) *msg.ProductUpdate {
+	return &msg.ProductUpdate{
+		Type:           msg.TypeRemoveProduct,
+		ProductID:      p.ID,
+		ImageURLs:      append([]string(nil), p.ImageURLs...),
+		EventTimeNanos: time.Now().UnixNano(),
+		Seq:            c.nextSeq(),
+	}
+}
+
+// UpdateAttrsEvent builds a numeric attribute update event for p.
+func (c *Cluster) UpdateAttrsEvent(p *catalog.Product, sales, praise, price uint32) *msg.ProductUpdate {
+	return &msg.ProductUpdate{
+		Type:           msg.TypeUpdateAttrs,
+		ProductID:      p.ID,
+		Sales:          sales,
+		Praise:         praise,
+		PriceCents:     price,
+		ImageURLs:      append([]string(nil), p.ImageURLs...),
+		EventTimeNanos: time.Now().UnixNano(),
+		Seq:            c.nextSeq(),
+	}
+}
+
+// Publish routes an update event into the queue (per-image, hash placed).
+func (c *Cluster) Publish(u *msg.ProductUpdate) error {
+	_, err := indexer.RouteUpdate(c.Queue, u)
+	return err
+}
+
+// WaitForDrain blocks until every primary searcher has consumed its
+// partition's backlog or the timeout elapses. It reports whether the
+// backlog fully drained — used by tests and the freshness example to bound
+// "sub-second update" claims.
+func (c *Cluster) WaitForDrain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		var produced int64
+		for p := 0; p < c.cfg.Partitions; p++ {
+			n, err := c.Queue.Len(indexer.UpdatesTopic, p)
+			if err != nil {
+				return false
+			}
+			produced += n
+		}
+		// Applied counts only post-bootstrap events; the bootstrap feed was
+		// consumed by full indexing, not the real-time loop.
+		var applied int64
+		for p := 0; p < c.cfg.Partitions; p++ {
+			applied += c.searchers[p][0].Applied()
+		}
+		if applied >= produced-c.bootstrapLen() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// bootstrapLen returns the number of per-image messages produced by the
+// initial catalog feed (consumed by full indexing, not the RT loop).
+func (c *Cluster) bootstrapLen() int64 {
+	var n int64
+	for i := range c.Catalog.Products {
+		n += int64(len(c.Catalog.Products[i].ImageURLs))
+	}
+	return n
+}
+
+// Reindex performs the periodic full indexing cycle of §2.2 against the
+// complete update log and hot-swaps the fresh shards into every running
+// searcher with zero downtime: in-flight searches finish on the old index,
+// new searches see the new one. Real-time consumers keep their queue
+// positions; events they re-apply on top of the fresh index are idempotent
+// (additions reuse, deletions flip bits, attribute updates overwrite).
+func (c *Cluster) Reindex() error {
+	full, err := indexer.NewFull(indexer.FullConfig{
+		Partitions: c.cfg.Partitions,
+		Shard: index.Config{
+			Dim:           c.cfg.Dim,
+			NLists:        c.cfg.NLists,
+			DefaultNProbe: c.cfg.DefaultNProbe,
+		},
+		Seed: c.cfg.FeatureSeed,
+	}, c.resolver)
+	if err != nil {
+		return err
+	}
+	shards, _, err := full.Build(c.Queue)
+	if err != nil {
+		return fmt.Errorf("cluster: reindex: %w", err)
+	}
+	for p := 0; p < c.cfg.Partitions; p++ {
+		for r, s := range c.searchers[p] {
+			shard := shards[p]
+			if r > 0 {
+				shard, err = cloneShard(shards[p])
+				if err != nil {
+					return fmt.Errorf("cluster: reindex clone p%d: %w", p, err)
+				}
+			}
+			s.SwapShard(shard)
+		}
+	}
+	return nil
+}
+
+// StartPeriodicReindex launches the periodic full indexing cycle of §2.2
+// ("building the full index for all images is performed every week") at
+// the given interval. The returned stop function halts the cycle and waits
+// for any in-flight rebuild; errors from individual cycles go to onErr
+// (nil to ignore).
+func (c *Cluster) StartPeriodicReindex(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			if err := c.Reindex(); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// Close tears the topology down in dependency order.
+func (c *Cluster) Close() {
+	if c.front != nil {
+		c.front.Close()
+	}
+	for _, b := range c.blenders {
+		b.Close()
+	}
+	for _, b := range c.brokers {
+		b.Close()
+	}
+	if c.Queue != nil {
+		c.Queue.Close() // unblocks searcher RT loops
+	}
+	for _, group := range c.searchers {
+		for _, s := range group {
+			s.Close()
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/core"
+	"jdvs/internal/msg"
+)
+
+func startTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func smallConfig() Config {
+	return Config{
+		Partitions: 3,
+		Brokers:    2,
+		Blenders:   2,
+		NLists:     16,
+		Catalog:    catalog.Config{Products: 150, Categories: 6, Seed: 37},
+	}
+}
+
+func TestTopologyShape(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	if c.Partitions() != 3 || c.Replicas() != 1 {
+		t.Fatalf("topology %d/%d", c.Partitions(), c.Replicas())
+	}
+	if c.FrontendAddr() == "" {
+		t.Fatal("no frontend address")
+	}
+	// Every partition's searcher holds some images, and together they hold
+	// every valid catalog image exactly once.
+	total := 0
+	for p := 0; p < c.Partitions(); p++ {
+		st := c.Searcher(p, 0).Shard().Stats()
+		if st.Images == 0 {
+			t.Fatalf("partition %d is empty — hash placement broken", p)
+		}
+		total += st.Images
+	}
+	wantImages := 0
+	for i := range c.Catalog.Products {
+		wantImages += len(c.Catalog.Products[i].ImageURLs)
+	}
+	if total != wantImages {
+		t.Fatalf("shards hold %d images, catalog has %d", total, wantImages)
+	}
+}
+
+func TestQueryThroughFullStack(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	hits := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		target := &c.Catalog.Products[i*7%len(c.Catalog.Products)]
+		resp, err := cl.Query(ctx, &core.QueryRequest{
+			ImageBlob:     c.Catalog.QueryImage(target).Encode(),
+			TopK:          10,
+			CategoryScope: core.AllCategories,
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		for _, h := range resp.Hits {
+			if h.ProductID == target.ID {
+				hits++
+				break
+			}
+		}
+	}
+	// Recall across the full stack: query photos are noisy, so demand a
+	// strong majority rather than perfection.
+	if hits < trials*8/10 {
+		t.Fatalf("recall %d/%d through full stack", hits, trials)
+	}
+}
+
+func TestReplicasServeAfterPrimaryDeath(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Replicas = 2
+	c := startTestCluster(t, cfg)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Kill the primary replica of every partition.
+	for p := 0; p < c.Partitions(); p++ {
+		c.Searcher(p, 0).Close()
+	}
+	target := &c.Catalog.Products[0]
+	resp, err := cl.Query(ctx, &core.QueryRequest{
+		ImageBlob:     c.Catalog.QueryImage(target).Encode(),
+		TopK:          5,
+		CategoryScope: core.AllCategories,
+	})
+	if err != nil {
+		t.Fatalf("query with all primaries dead: %v", err)
+	}
+	if len(resp.Hits) == 0 {
+		t.Fatal("no hits from replicas")
+	}
+}
+
+func TestRealTimeUpdateVisibleThroughStack(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	target := &c.Catalog.Products[9]
+	// Attribute update: new sales figure must appear in results.
+	if err := c.Publish(c.UpdateAttrsEvent(target, 123456, 88, 777)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+	resp, err := cl.Query(ctx, &core.QueryRequest{
+		ImageBlob:     c.Catalog.QueryImage(target).Encode(),
+		TopK:          10,
+		CategoryScope: core.AllCategories,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range resp.Hits {
+		if h.ProductID == target.ID {
+			found = true
+			if h.Sales != 123456 || h.Praise != 88 || h.PriceCents != 777 {
+				t.Fatalf("stale attributes in results: %+v", h)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("target product not in results")
+	}
+}
+
+func TestOnAppliedObserver(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	cfg := smallConfig()
+	cfg.OnApplied = func(u *msg.ProductUpdate, kind string, reused bool, lat time.Duration) {
+		mu.Lock()
+		counts[kind]++
+		mu.Unlock()
+	}
+	c := startTestCluster(t, cfg)
+
+	target := &c.Catalog.Products[1]
+	if err := c.Publish(c.RemoveProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(c.AddProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	n := len(target.ImageURLs)
+	if counts["deletion"] != n || counts["addition"] != n {
+		t.Fatalf("observer counts = %v, want %d each", counts, n)
+	}
+}
+
+func TestDisableRealTime(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DisableRealTime = true
+	c := startTestCluster(t, cfg)
+	target := &c.Catalog.Products[0]
+	if err := c.Publish(c.RemoveProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	// Without real-time indexing nothing drains.
+	if c.WaitForDrain(300 * time.Millisecond) {
+		t.Fatal("drain succeeded with real-time indexing disabled")
+	}
+	// And the searcher still serves the stale (pre-removal) state.
+	part := c.Searcher(0, 0)
+	if part.Applied() != 0 {
+		t.Fatalf("searcher applied %d updates with RT disabled", part.Applied())
+	}
+}
+
+func TestFeatureReuseAcrossRemoveReAdd(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	extractionsAfterBootstrap := c.Extractor.Calls()
+
+	// Remove and re-add: zero new extractions (features cached in both the
+	// shard and the feature DB).
+	target := &c.Catalog.Products[5]
+	if err := c.Publish(c.RemoveProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(c.AddProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+	if got := c.Extractor.Calls(); got != extractionsAfterBootstrap {
+		t.Fatalf("re-add extracted features: %d calls, was %d", got, extractionsAfterBootstrap)
+	}
+}
+
+func TestBrokerPartitionAssignmentCoversAll(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Partitions = 5
+	cfg.Brokers = 2
+	c := startTestCluster(t, cfg)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Query products until we have seen hits from every partition: proves
+	// the broker subsets jointly cover all partitions.
+	seen := map[core.PartitionID]bool{}
+	for i := 0; i < len(c.Catalog.Products) && len(seen) < 5; i += 3 {
+		target := &c.Catalog.Products[i]
+		resp, err := cl.Query(ctx, &core.QueryRequest{
+			ImageBlob:     c.Catalog.QueryImage(target).Encode(),
+			TopK:          10,
+			CategoryScope: core.AllCategories,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range resp.Hits {
+			seen[h.Image.Partition] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("hits from %d partitions, want 5 (broker assignment gap)", len(seen))
+	}
+}

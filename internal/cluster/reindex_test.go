@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/core"
+)
+
+func TestReindexFoldsLiveUpdates(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	target := &c.Catalog.Products[4]
+	if err := c.Publish(c.RemoveProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+	if err := c.Reindex(); err != nil {
+		t.Fatalf("Reindex: %v", err)
+	}
+	// The rebuilt shards must exclude the removed product's images
+	// entirely ("only the valid images are used to create the full index").
+	for p := 0; p < c.Partitions(); p++ {
+		shard := c.Searcher(p, 0).Shard()
+		for _, url := range target.ImageURLs {
+			if shard.HasURL(url) {
+				t.Fatalf("removed image %s present in rebuilt partition %d", url, p)
+			}
+		}
+	}
+	// And everything else survives.
+	total := 0
+	for p := 0; p < c.Partitions(); p++ {
+		total += c.Searcher(p, 0).Shard().Stats().Images
+	}
+	want := 0
+	for i := range c.Catalog.Products {
+		if c.Catalog.Products[i].ID != target.ID {
+			want += len(c.Catalog.Products[i].ImageURLs)
+		}
+	}
+	if total != want {
+		t.Fatalf("rebuilt shards hold %d images, want %d", total, want)
+	}
+}
+
+func TestReindexZeroDowntimeUnderLoad(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blob := c.Catalog.QueryImage(&c.Catalog.Products[w]).Encode()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Query(ctx, &core.QueryRequest{
+					ImageBlob: blob, TopK: 5, CategoryScope: core.AllCategories,
+				}); err != nil {
+					t.Errorf("query failed during reindex: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Reindex(); err != nil {
+			t.Fatalf("Reindex %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestStartPeriodicReindex(t *testing.T) {
+	cfg := Config{
+		Partitions: 2,
+		NLists:     16,
+		Catalog:    catalog.Config{Products: 120, Categories: 4, Seed: 53},
+	}
+	c := startTestCluster(t, cfg)
+
+	target := &c.Catalog.Products[2]
+	if err := c.Publish(c.RemoveProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+
+	var errMu sync.Mutex
+	var cycleErr error
+	stop := c.StartPeriodicReindex(50*time.Millisecond, func(err error) {
+		errMu.Lock()
+		cycleErr = err
+		errMu.Unlock()
+	})
+	defer stop()
+
+	// Within a few cycles the removed product must be physically absent
+	// from the served shards (not merely invalid).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gone := true
+		for p := 0; p < c.Partitions(); p++ {
+			shard := c.Searcher(p, 0).Shard()
+			for _, url := range target.ImageURLs {
+				if shard.HasURL(url) {
+					gone = false
+				}
+			}
+		}
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic reindex never rebuilt the shards")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	errMu.Lock()
+	defer errMu.Unlock()
+	if cycleErr != nil {
+		t.Fatalf("reindex cycle error: %v", cycleErr)
+	}
+}

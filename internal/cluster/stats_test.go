@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"jdvs/internal/core"
+)
+
+func TestStatsAggregation(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// Drive some traffic so the counters move.
+	for i := 0; i < 5; i++ {
+		blob := c.Catalog.QueryImage(&c.Catalog.Products[i]).Encode()
+		if _, err := cl.Query(ctx, &core.QueryRequest{ImageBlob: blob, TopK: 5, CategoryScope: core.AllCategories}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Publish(c.UpdateAttrsEvent(&c.Catalog.Products[0], 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if len(st.Searchers) != c.Partitions() {
+		t.Fatalf("stats cover %d searchers, want %d", len(st.Searchers), c.Partitions())
+	}
+	if st.Frontend.Queries != 5 {
+		t.Fatalf("frontend saw %d queries, want 5", st.Frontend.Queries)
+	}
+	var blenderQueries, searcherApplied int64
+	for _, b := range st.Blenders {
+		blenderQueries += b.Queries
+	}
+	for _, s := range st.Searchers {
+		searcherApplied += s.Applied
+	}
+	if blenderQueries != 5 {
+		t.Fatalf("blenders saw %d queries, want 5", blenderQueries)
+	}
+	if searcherApplied != int64(len(c.Catalog.Products[0].ImageURLs)) {
+		t.Fatalf("searchers applied %d updates, want %d", searcherApplied, len(c.Catalog.Products[0].ImageURLs))
+	}
+	wantImages := 0
+	for i := range c.Catalog.Products {
+		wantImages += len(c.Catalog.Products[i].ImageURLs)
+	}
+	if st.TotalImages() != wantImages {
+		t.Fatalf("TotalImages = %d, want %d", st.TotalImages(), wantImages)
+	}
+	if st.TotalValid() != wantImages {
+		t.Fatalf("TotalValid = %d, want %d", st.TotalValid(), wantImages)
+	}
+	out := st.String()
+	for _, want := range []string{"frontend:", "blender 0:", "broker 0:", "searcher p0:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsFailsOnDeadNode(t *testing.T) {
+	c := startTestCluster(t, smallConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c.Searcher(0, 0).Close()
+	if _, err := c.Stats(ctx); err == nil {
+		t.Fatal("stats succeeded with a dead searcher")
+	}
+}

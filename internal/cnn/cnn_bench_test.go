@@ -1,0 +1,67 @@
+package cnn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkExtract measures the simulated CNN at different cost factors —
+// the knob Fig. 11's queueing behaviour depends on.
+func BenchmarkExtract(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	img := genImage(rng, randLatent(rng), 0.1)
+	for _, work := range []int{0, 50, 300} {
+		name := map[int]string{0: "work=0", 50: "work=50", 300: "work=300"}[work]
+		b.Run(name, func(b *testing.B) {
+			e := New(Config{Dim: 64, Seed: 2, WorkFactor: work})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Extract(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExtractBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	blob := genImage(rng, randLatent(rng), 0.1).Encode()
+	e := New(Config{Dim: 64, Seed: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExtractBytes(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	e := New(Config{Dim: 64, Seed: 6})
+	protos := make([]float32, 0, 20*64)
+	for c := 0; c < 20; c++ {
+		f, err := e.Extract(genImage(rng, randLatent(rng), 1e-4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		protos = append(protos, f...)
+	}
+	cls, err := NewClassifier(64, protos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := e.Extract(genImage(rng, randLatent(rng), 0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cls.Classify(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

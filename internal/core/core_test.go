@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageRefPackUnpack(t *testing.T) {
+	tests := []ImageRef{
+		{0, 0},
+		{1, 2},
+		{65535, 4294967295},
+		{7, 123456},
+	}
+	for _, r := range tests {
+		if got := UnpackImageRef(r.Pack()); got != r {
+			t.Errorf("roundtrip %+v -> %+v", r, got)
+		}
+	}
+}
+
+func TestImageRefPackProperty(t *testing.T) {
+	f := func(p uint16, l uint32) bool {
+		r := ImageRef{Partition: PartitionID(p), Local: l}
+		return UnpackImageRef(r.Pack()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeatureCodecRoundtrip(t *testing.T) {
+	tests := [][]float32{
+		nil,
+		{},
+		{1.5},
+		{0, -1, 2.25, float32(math.Pi), -0.00001},
+	}
+	for _, f := range tests {
+		enc := AppendFeature(nil, f)
+		got, rest, err := DecodeFeature(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", f, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("leftover bytes: %d", len(rest))
+		}
+		if len(got) != len(f) {
+			t.Fatalf("dim %d, want %d", len(got), len(f))
+		}
+		for i := range f {
+			if got[i] != f[i] {
+				t.Fatalf("component %d: %v != %v", i, got[i], f[i])
+			}
+		}
+	}
+}
+
+func TestFeatureCodecCorruption(t *testing.T) {
+	enc := AppendFeature(nil, []float32{1, 2, 3})
+	for _, cut := range []int{0, 2, 5, len(enc) - 1} {
+		if _, _, err := DecodeFeature(enc[:cut]); err == nil {
+			t.Errorf("truncated feature (%d bytes) accepted", cut)
+		}
+	}
+	// Oversized dim header.
+	huge := AppendFeature(nil, nil)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, err := DecodeFeature(huge); err == nil {
+		t.Error("absurd feature dim accepted")
+	}
+}
+
+func sampleRequest() *SearchRequest {
+	return &SearchRequest{
+		Feature:  []float32{0.1, -0.5, 0.25, 1},
+		TopK:     15,
+		NProbe:   4,
+		Category: -1,
+	}
+}
+
+func TestSearchRequestRoundtrip(t *testing.T) {
+	req := sampleRequest()
+	got, err := DecodeSearchRequest(EncodeSearchRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TopK != req.TopK || got.NProbe != req.NProbe || got.Category != req.Category {
+		t.Fatalf("roundtrip: %+v vs %+v", got, req)
+	}
+	for i := range req.Feature {
+		if got.Feature[i] != req.Feature[i] {
+			t.Fatal("feature corrupted")
+		}
+	}
+	// Negative category survives the uint32 transit.
+	if got.Category != -1 {
+		t.Fatalf("Category = %d, want -1", got.Category)
+	}
+}
+
+func TestSearchRequestCorruption(t *testing.T) {
+	enc := EncodeSearchRequest(sampleRequest())
+	if _, err := DecodeSearchRequest(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecodeSearchRequest(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated request accepted")
+	}
+	bad := append([]byte{42}, enc[1:]...)
+	if _, err := DecodeSearchRequest(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func sampleResponse() *SearchResponse {
+	return &SearchResponse{
+		Scanned: 123,
+		Probed:  8,
+		Hits: []Hit{
+			{
+				Image:      ImageRef{3, 77},
+				Dist:       0.25,
+				ProductID:  999,
+				Sales:      10,
+				Praise:     95,
+				PriceCents: 12999,
+				Category:   4,
+				URL:        "jfs://img/p999/0.jpg",
+				Score:      0.87,
+			},
+			{Image: ImageRef{0, 1}, Dist: 1.5, ProductID: 5, URL: ""},
+		},
+	}
+}
+
+func TestSearchResponseRoundtrip(t *testing.T) {
+	resp := sampleResponse()
+	got, err := DecodeSearchResponse(EncodeSearchResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scanned != resp.Scanned || got.Probed != resp.Probed || len(got.Hits) != len(resp.Hits) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range resp.Hits {
+		if got.Hits[i] != resp.Hits[i] {
+			t.Fatalf("hit %d: %+v vs %+v", i, got.Hits[i], resp.Hits[i])
+		}
+	}
+}
+
+func TestSearchResponseEmpty(t *testing.T) {
+	got, err := DecodeSearchResponse(EncodeSearchResponse(&SearchResponse{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hits) != 0 {
+		t.Fatalf("hits = %v", got.Hits)
+	}
+}
+
+func TestSearchResponseCorruption(t *testing.T) {
+	enc := EncodeSearchResponse(sampleResponse())
+	for _, cut := range []int{0, 5, 13, 20, len(enc) - 1} {
+		if _, err := DecodeSearchResponse(enc[:cut]); err == nil {
+			t.Errorf("truncated response (%d bytes) accepted", cut)
+		}
+	}
+}
+
+// Property: response codec is identity for arbitrary hits.
+func TestSearchResponseRoundtripProperty(t *testing.T) {
+	f := func(part uint16, local uint32, dist float32, pid uint64, sales, praise, price uint32, cat uint16, url string, score float64) bool {
+		if len(url) > 4096 {
+			url = url[:4096]
+		}
+		if dist != dist || score != score { // skip NaN: != comparison below would fail spuriously
+			return true
+		}
+		resp := &SearchResponse{Hits: []Hit{{
+			Image: ImageRef{PartitionID(part), local}, Dist: dist, ProductID: pid,
+			Sales: sales, Praise: praise, PriceCents: price, Category: cat, URL: url, Score: score,
+		}}}
+		got, err := DecodeSearchResponse(EncodeSearchResponse(resp))
+		if err != nil || len(got.Hits) != 1 {
+			return false
+		}
+		return got.Hits[0] == resp.Hits[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryRequestRoundtrip(t *testing.T) {
+	q := &QueryRequest{
+		ImageBlob:     []byte{1, 2, 3, 4, 5},
+		TopK:          6,
+		NProbe:        3,
+		CategoryScope: AllCategories,
+		AutoCategory:  true,
+	}
+	got, err := DecodeQueryRequest(EncodeQueryRequest(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TopK != q.TopK || got.NProbe != q.NProbe ||
+		got.CategoryScope != q.CategoryScope || got.AutoCategory != q.AutoCategory {
+		t.Fatalf("roundtrip: %+v vs %+v", got, q)
+	}
+	if string(got.ImageBlob) != string(q.ImageBlob) {
+		t.Fatal("blob corrupted")
+	}
+}
+
+func TestQueryRequestCorruption(t *testing.T) {
+	enc := EncodeQueryRequest(&QueryRequest{ImageBlob: []byte("img"), TopK: 1})
+	if _, err := DecodeQueryRequest(enc[:10]); err == nil {
+		t.Error("truncated query accepted")
+	}
+	if _, err := DecodeQueryRequest(append(enc, 0xff)); err == nil {
+		t.Error("over-long query accepted")
+	}
+}
+
+// Property: decoding arbitrary bytes never panics for any codec.
+func TestDecodersNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _, _ = DecodeFeature(b)
+		_, _ = DecodeSearchRequest(b)
+		_, _ = DecodeSearchResponse(b)
+		_, _ = DecodeQueryRequest(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

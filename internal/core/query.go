@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AllCategories is the CategoryScope value meaning "search every
+// category". Category IDs start at 0, so the zero value of CategoryScope
+// scopes to category 0 — always set CategoryScope explicitly (helpers in
+// the public facade default it to AllCategories).
+const AllCategories int32 = -1
+
+// QueryRequest is the user-facing query carried from the front end to a
+// blender: the raw query image plus retrieval parameters. The blender —
+// not the client — extracts features ("when a blender receives an image
+// query request, it extracts the features", §2.4).
+type QueryRequest struct {
+	// ImageBlob is the encoded query image.
+	ImageBlob []byte
+	// TopK is the number of final results wanted (default 10).
+	TopK int
+	// NProbe overrides the per-searcher probe width (0 = searcher default).
+	NProbe int
+	// CategoryScope restricts the search to the detected/declared category
+	// when >= 0; pass -1 to search everything. When AutoCategory is set the
+	// blender overrides this with its classifier's prediction.
+	CategoryScope int32
+	// AutoCategory asks the blender to detect the item and identify its
+	// category (§2.4), then scope the search to it.
+	AutoCategory bool
+}
+
+const queryCodecVersion = 1
+
+// maxQueryBlob bounds the decoded query image as a corruption guard.
+const maxQueryBlob = 32 << 20
+
+// EncodeQueryRequest serialises a QueryRequest.
+func EncodeQueryRequest(q *QueryRequest) []byte {
+	dst := make([]byte, 0, 18+len(q.ImageBlob))
+	dst = append(dst, queryCodecVersion)
+	var flags byte
+	if q.AutoCategory {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.TopK))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.NProbe))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.CategoryScope))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(q.ImageBlob)))
+	dst = append(dst, q.ImageBlob...)
+	return dst
+}
+
+// DecodeQueryRequest deserialises a QueryRequest.
+func DecodeQueryRequest(b []byte) (*QueryRequest, error) {
+	if len(b) < 18 || b[0] != queryCodecVersion {
+		return nil, fmt.Errorf("%w: bad query header", ErrCodec)
+	}
+	q := &QueryRequest{
+		AutoCategory:  b[1]&1 != 0,
+		TopK:          int(binary.LittleEndian.Uint32(b[2:6])),
+		NProbe:        int(binary.LittleEndian.Uint32(b[6:10])),
+		CategoryScope: int32(binary.LittleEndian.Uint32(b[10:14])),
+	}
+	n := int(binary.LittleEndian.Uint32(b[14:18]))
+	if n > maxQueryBlob {
+		return nil, fmt.Errorf("%w: query blob %d bytes", ErrCodec, n)
+	}
+	if len(b[18:]) != n {
+		return nil, fmt.Errorf("%w: query blob length mismatch", ErrCodec)
+	}
+	q.ImageBlob = make([]byte, n)
+	copy(q.ImageBlob, b[18:])
+	return q, nil
+}

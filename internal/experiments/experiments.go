@@ -1,0 +1,48 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3) against the real system: scaled-down workloads with the
+// paper's exact proportions and shapes drive the full cluster, and each
+// runner renders rows/series in the same form the paper reports.
+//
+// Absolute numbers differ from the paper's production hardware; the
+// relations the paper claims — the Table 1 reuse ratio, the diurnal rate
+// and latency shape of Fig. 11, the <10% real-time-indexing overhead of
+// Fig. 12, the saturation curve and tail CDF of Fig. 13 — are what these
+// harnesses measure. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// scalePct renders a ratio as a percentage string.
+func scalePct(num, den int64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// row formats one aligned table row.
+func row(b *strings.Builder, cols ...interface{}) {
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(b, "%14v", c)
+	}
+	b.WriteByte('\n')
+}
+
+// fmtDur rounds a duration for display.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

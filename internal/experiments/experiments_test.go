@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment harnesses are exercised at miniature scale: the point is
+// that the pipelines run end to end and the structural invariants hold
+// (counts add up, proportions track the paper, renders carry the rows);
+// cmd/jdvs-bench runs them at full scale.
+
+func TestRunTable1SmallScale(t *testing.T) {
+	res, err := RunTable1(Table1Config{
+		Events:     3_000,
+		Partitions: 2,
+		Products:   400,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if res.Total != 3_000 {
+		t.Fatalf("total = %d, want 3000", res.Total)
+	}
+	if res.AttrUpdates+res.Additions+res.Deletions != res.Total {
+		t.Fatalf("counts don't add up: %+v", res)
+	}
+	// Proportions within generous tolerance of Table 1.
+	frac := func(n int64) float64 { return float64(n) / float64(res.Total) }
+	if f := frac(res.Additions); f < 0.45 || f > 0.62 {
+		t.Errorf("additions fraction %.3f outside Table 1 band", f)
+	}
+	if f := frac(res.AttrUpdates); f < 0.25 || f > 0.40 {
+		t.Errorf("attr updates fraction %.3f outside Table 1 band", f)
+	}
+	// The reuse ratio is the headline claim: the overwhelming majority of
+	// additions must avoid extraction.
+	if res.Additions > 0 {
+		reuse := float64(res.ReusedAdditions) / float64(res.Additions)
+		if reuse < 0.9 {
+			t.Errorf("reuse ratio %.3f, want >= 0.9 (paper: 0.985)", reuse)
+		}
+	}
+	if res.FreshExtractions == 0 {
+		t.Error("no fresh extractions at all — the mix lost its fresh-add component")
+	}
+	out := res.Render()
+	for _, want := range []string{"Table 1", "AttrUpdate", "reusing stored features"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig11SmallScale(t *testing.T) {
+	res, err := RunFig11(Fig11Config{
+		Events:      4_000,
+		DayDuration: 1200 * time.Millisecond,
+		Partitions:  2,
+		Products:    400,
+		ExtractWork: 10,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatalf("RunFig11: %v", err)
+	}
+	// All events accounted for across the 24 hours.
+	var total int64
+	for h := 0; h < 24; h++ {
+		total += res.Series.Kinds[h].Total()
+	}
+	if total != 4_000 {
+		t.Fatalf("hourly totals sum to %d, want 4000", total)
+	}
+	// The peak must land in the late-morning band the diurnal shape puts
+	// it in (small samples wobble between 10:00 and 12:00).
+	if res.PeakHour < 9 || res.PeakHour > 13 {
+		t.Errorf("peak hour %d, want late morning (paper: 11)", res.PeakHour)
+	}
+	if res.Avg <= 0 || res.P99 < res.P90 || res.P90 < 0 {
+		t.Errorf("latency stats inconsistent: avg=%v p90=%v p99=%v", res.Avg, res.P90, res.P99)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "peak hour") || !strings.Contains(out, "11:00") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestRunFig12SmallScale(t *testing.T) {
+	res, err := RunFig12(Fig12Config{
+		Threads:    []int{4, 8},
+		Duration:   400 * time.Millisecond,
+		Partitions: 2,
+		Brokers:    1,
+		Blenders:   1,
+		Products:   300,
+		UpdateRate: 500,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("RunFig12: %v", err)
+	}
+	if len(res.Without) != 2 || len(res.With) != 2 {
+		t.Fatalf("points: %d/%d", len(res.Without), len(res.With))
+	}
+	for i := range res.Without {
+		if res.Without[i].QPS <= 0 || res.With[i].QPS <= 0 {
+			t.Fatalf("zero QPS: %+v %+v", res.Without[i], res.With[i])
+		}
+		if res.Without[i].Errors > 0 || res.With[i].Errors > 0 {
+			t.Fatalf("query errors: %+v %+v", res.Without[i], res.With[i])
+		}
+	}
+	if res.AppliedDuringRun == 0 {
+		t.Fatal("no real-time updates applied during the 'with' pass — baseline comparison invalid")
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 12", "normalised", "Response time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunFig13SmallScale(t *testing.T) {
+	res, err := RunFig13(Fig13Config{
+		Threads:    []int{1, 4},
+		Duration:   400 * time.Millisecond,
+		Partitions: 2,
+		Brokers:    1,
+		Blenders:   1,
+		Products:   300,
+		Seed:       8,
+	})
+	if err != nil {
+		t.Fatalf("RunFig13: %v", err)
+	}
+	if len(res.Sweep) != 2 {
+		t.Fatalf("sweep has %d points", len(res.Sweep))
+	}
+	if res.Best.QPS <= 0 {
+		t.Fatalf("best = %+v", res.Best)
+	}
+	if len(res.CDF) == 0 {
+		t.Fatal("no CDF")
+	}
+	last := res.CDF[len(res.CDF)-1]
+	if last.Fraction != 1.0 {
+		t.Fatalf("CDF does not reach 1.0: %+v", last)
+	}
+	if res.MaxResp < res.P99Resp {
+		t.Fatalf("max %v < p99 %v", res.MaxResp, res.P99Resp)
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 13", "saturation", "CDF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cluster"
+	"jdvs/internal/msg"
+	"jdvs/internal/workload"
+)
+
+// Fig12Config scales the Fig. 12 reproduction: query throughput and
+// response time with and without concurrent real-time indexing, at the
+// paper's client concurrencies (50, 100, 200). The paper's testbed holds
+// 100,000 images on 20 searchers; the defaults scale that down — pass
+// bigger numbers to cmd/jdvs-bench for a full-size run.
+type Fig12Config struct {
+	// Threads are the emulated user counts (default {50, 100, 200}).
+	Threads []int
+	// Duration is the measurement window per setting (default 3s).
+	Duration time.Duration
+	// Partitions, Brokers, Blenders, Products size the cluster
+	// (defaults 8 / 3 / 3 / 4,000 ≈ 8k images).
+	Partitions, Brokers, Blenders, Products int
+	// UpdateRate is the real-time indexing load in events/sec while
+	// measuring "with real time index" (default 2,000).
+	UpdateRate int
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c *Fig12Config) fill() {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{50, 100, 200}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Brokers <= 0 {
+		c.Brokers = 3
+	}
+	if c.Blenders <= 0 {
+		c.Blenders = 3
+	}
+	if c.Products <= 0 {
+		c.Products = 4_000
+	}
+	if c.UpdateRate <= 0 {
+		c.UpdateRate = 2_000
+	}
+}
+
+// Fig12Point is one (threads, mode) measurement.
+type Fig12Point struct {
+	Threads  int
+	QPS      float64
+	MeanResp time.Duration
+	P99Resp  time.Duration
+	Errors   int64
+}
+
+// Fig12Result pairs the two modes per thread count.
+type Fig12Result struct {
+	Config  Fig12Config
+	Without []Fig12Point // no concurrent real-time indexing load
+	With    []Fig12Point // concurrent real-time indexing at UpdateRate
+	// AppliedDuringRun counts RT updates applied while measuring the
+	// "with" mode — proof the competing load was real.
+	AppliedDuringRun int64
+}
+
+// RunFig12 executes the experiment: one cluster, each thread count
+// measured twice (quiet queue, then live update stream).
+func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
+	cfg.fill()
+	var applied atomic.Int64
+	c, err := cluster.Start(cluster.Config{
+		Partitions: cfg.Partitions,
+		Brokers:    cfg.Brokers,
+		Blenders:   cfg.Blenders,
+		NLists:     64,
+		Catalog: catalog.Config{
+			Products:   cfg.Products,
+			Categories: 12,
+			Seed:       cfg.Seed,
+		},
+		OnApplied: func(u *msg.ProductUpdate, kind string, reused bool, lat time.Duration) {
+			applied.Add(1)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+	defer c.Close()
+
+	res := &Fig12Result{Config: cfg}
+	// Blobs are generated once, before any update stream owns the catalog.
+	blobs := workload.MakeQueryBlobs(c.Catalog, 64, cfg.Seed+9)
+	measure := func(threads int, seed int64, dur time.Duration) (Fig12Point, error) {
+		lr, err := workload.RunQueryLoad(workload.QueryLoadConfig{
+			Addr:        c.FrontendAddr(),
+			Concurrency: threads,
+			Duration:    dur,
+			TopK:        10,
+			Blobs:       blobs,
+			Seed:        seed,
+		}, c.Catalog)
+		if err != nil {
+			return Fig12Point{}, err
+		}
+		return Fig12Point{
+			Threads:  threads,
+			QPS:      lr.QPS,
+			MeanResp: lr.Latency.Mean(),
+			P99Resp:  lr.Latency.Percentile(99),
+			Errors:   lr.Errors,
+		}, nil
+	}
+	warmup := cfg.Duration / 4
+	if warmup > time.Second {
+		warmup = time.Second
+	}
+
+	// The two modes are measured back to back per thread count (with a
+	// warmup before each measurement) so machine-level drift hits both
+	// equally — the overhead ratio is what matters.
+	gen := workload.NewMix(workload.MixConfig{Seed: cfg.Seed + 100}, c.Catalog, c.Images)
+	appliedBefore := applied.Load()
+	for i, n := range cfg.Threads {
+		if _, err := measure(n, cfg.Seed+500+int64(i), warmup); err != nil {
+			return nil, fmt.Errorf("fig12 warmup, %d threads: %w", n, err)
+		}
+		wo, err := measure(n, cfg.Seed+int64(i), cfg.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 without, %d threads: %w", n, err)
+		}
+		res.Without = append(res.Without, wo)
+
+		stop := make(chan struct{})
+		updaterDone := make(chan error, 1)
+		go func() {
+			updaterDone <- streamUpdates(c, gen, cfg.UpdateRate, stop)
+		}()
+		if _, err := measure(n, cfg.Seed+1500+int64(i), warmup); err != nil {
+			close(stop)
+			<-updaterDone
+			return nil, fmt.Errorf("fig12 warmup-with, %d threads: %w", n, err)
+		}
+		wi, err := measure(n, cfg.Seed+1000+int64(i), cfg.Duration)
+		close(stop)
+		if uerr := <-updaterDone; uerr != nil {
+			return nil, fmt.Errorf("fig12 updater: %w", uerr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fig12 with, %d threads: %w", n, err)
+		}
+		res.With = append(res.With, wi)
+	}
+	res.AppliedDuringRun = applied.Load() - appliedBefore
+	return res, nil
+}
+
+// streamUpdates publishes per-image events at approximately rate/sec until
+// stop closes.
+func streamUpdates(c *cluster.Cluster, gen *workload.MixGen, rate int, stop <-chan struct{}) error {
+	const tick = 10 * time.Millisecond
+	perTick := rate / 100
+	if perTick < 1 {
+		perTick = 1
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+		}
+		sent := 0
+		for sent < perTick {
+			u, _, _, err := gen.Next()
+			if err != nil {
+				return err
+			}
+			for _, url := range u.ImageURLs {
+				if sent == perTick {
+					break
+				}
+				per := *u
+				per.ImageURLs = []string{url}
+				per.EventTimeNanos = time.Now().UnixNano()
+				if err := c.Publish(&per); err != nil {
+					return err
+				}
+				sent++
+			}
+		}
+	}
+}
+
+// Render prints the Fig. 12(a) normalised-throughput rows and the
+// Fig. 12(b) response-time rows.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12. Performance with and without real time indexing (update load %d ev/s)\n\n", r.Config.UpdateRate)
+	b.WriteString("(a) Throughput, normalised to the no-real-time baseline per thread count\n")
+	row(&b, "threads", "QPS w/o RT", "QPS with RT", "normalised", "overhead")
+	for i := range r.Without {
+		wo, wi := r.Without[i], r.With[i]
+		norm := 0.0
+		if wo.QPS > 0 {
+			norm = wi.QPS / wo.QPS
+		}
+		row(&b, wo.Threads,
+			fmt.Sprintf("%.0f", wo.QPS),
+			fmt.Sprintf("%.0f", wi.QPS),
+			fmt.Sprintf("%.3f", norm),
+			fmt.Sprintf("%.1f%%", 100*(1-norm)))
+	}
+	b.WriteString("(paper: overhead < 10% at every thread count)\n\n")
+	b.WriteString("(b) Response time\n")
+	row(&b, "threads", "mean w/o RT", "mean with RT", "p99 w/o RT", "p99 with RT")
+	for i := range r.Without {
+		wo, wi := r.Without[i], r.With[i]
+		row(&b, wo.Threads, fmtDur(wo.MeanResp), fmtDur(wi.MeanResp), fmtDur(wo.P99Resp), fmtDur(wi.P99Resp))
+	}
+	b.WriteString("(paper: means similar in both modes, < 100ms average)\n")
+	fmt.Fprintf(&b, "\nreal-time updates applied during the 'with' pass: %d\n", r.AppliedDuringRun)
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cluster"
+	"jdvs/internal/metrics"
+	"jdvs/internal/workload"
+)
+
+// Fig13Config scales the Fig. 13 reproduction: query throughput versus
+// client thread count (the saturation curve of Fig. 13(a)) and the full
+// response-time CDF at the saturating concurrency (Fig. 13(b)).
+type Fig13Config struct {
+	// Threads is the sweep (default 1..35 odd counts, matching the
+	// paper's x-axis 1,3,5,...,35).
+	Threads []int
+	// Duration is the measurement window per thread count (default 2s).
+	Duration time.Duration
+	// Cluster sizing (defaults 8 / 3 / 3 / 4,000).
+	Partitions, Brokers, Blenders, Products int
+	// CDFPoints caps the rendered CDF resolution (default 24).
+	CDFPoints int
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c *Fig13Config) fill() {
+	if len(c.Threads) == 0 {
+		for n := 1; n <= 35; n += 2 {
+			c.Threads = append(c.Threads, n)
+		}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Brokers <= 0 {
+		c.Brokers = 3
+	}
+	if c.Blenders <= 0 {
+		c.Blenders = 3
+	}
+	if c.Products <= 0 {
+		c.Products = 4_000
+	}
+	if c.CDFPoints <= 0 {
+		c.CDFPoints = 24
+	}
+}
+
+// Fig13Point is one sweep measurement.
+type Fig13Point struct {
+	Threads int
+	QPS     float64
+	Mean    time.Duration
+	P99     time.Duration
+	Errors  int64
+}
+
+// Fig13Result carries the sweep and the max-throughput latency CDF.
+type Fig13Result struct {
+	Config Fig13Config
+	Sweep  []Fig13Point
+	// Best is the saturating measurement; CDF its latency distribution.
+	Best    Fig13Point
+	CDF     []metrics.CDFPoint
+	MaxResp time.Duration
+	P99Resp time.Duration
+}
+
+// RunFig13 executes the experiment.
+func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
+	cfg.fill()
+	c, err := cluster.Start(cluster.Config{
+		Partitions: cfg.Partitions,
+		Brokers:    cfg.Brokers,
+		Blenders:   cfg.Blenders,
+		NLists:     64,
+		Catalog: catalog.Config{
+			Products:   cfg.Products,
+			Categories: 12,
+			Seed:       cfg.Seed,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
+	defer c.Close()
+
+	res := &Fig13Result{Config: cfg}
+	var bestLatency *metrics.Histogram
+	for i, n := range cfg.Threads {
+		lr, err := workload.RunQueryLoad(workload.QueryLoadConfig{
+			Addr:        c.FrontendAddr(),
+			Concurrency: n,
+			Duration:    cfg.Duration,
+			TopK:        10,
+			Seed:        cfg.Seed + int64(i),
+		}, c.Catalog)
+		if err != nil {
+			return nil, fmt.Errorf("fig13, %d threads: %w", n, err)
+		}
+		p := Fig13Point{
+			Threads: n,
+			QPS:     lr.QPS,
+			Mean:    lr.Latency.Mean(),
+			P99:     lr.Latency.Percentile(99),
+			Errors:  lr.Errors,
+		}
+		res.Sweep = append(res.Sweep, p)
+		if p.QPS > res.Best.QPS {
+			res.Best = p
+			bestLatency = lr.Latency
+		}
+	}
+	if bestLatency != nil {
+		res.CDF = bestLatency.CDF(cfg.CDFPoints)
+		res.MaxResp = bestLatency.Max()
+		res.P99Resp = bestLatency.Percentile(99)
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 13(a) sweep and the Fig. 13(b) CDF series.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 13. Query performance scalability\n\n")
+	b.WriteString("(a) Throughput vs concurrent client threads\n")
+	row(&b, "threads", "QPS", "mean", "p99", "errors")
+	for _, p := range r.Sweep {
+		row(&b, p.Threads, fmt.Sprintf("%.0f", p.QPS), fmtDur(p.Mean), fmtDur(p.P99), p.Errors)
+	}
+	fmt.Fprintf(&b, "\nsaturation: %.0f QPS at %d threads (paper: ≈1800 QPS, saturating in the 1–35 thread sweep)\n",
+		r.Best.QPS, r.Best.Threads)
+	b.WriteString("\n(b) Response time CDF at maximum throughput\n")
+	row(&b, "latency", "CDF")
+	for _, p := range r.CDF {
+		row(&b, fmtDur(p.Latency), fmt.Sprintf("%.4f", p.Fraction))
+	}
+	fmt.Fprintf(&b, "\nmax response %s, p99 %s (paper: max 2.1s, p99 0.3s)\n", fmtDur(r.MaxResp), fmtDur(r.P99Resp))
+	return b.String()
+}

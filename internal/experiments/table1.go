@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cluster"
+	"jdvs/internal/msg"
+	"jdvs/internal/workload"
+)
+
+// Table1Config scales the Table 1 reproduction. The paper's day saw 977M
+// image updates (315M attribute updates, 521M additions of which 513M
+// reused features, 141M deletions); we stream Events updates with those
+// proportions through the live real-time indexing path and count what the
+// system actually did.
+type Table1Config struct {
+	// Events is the number of per-image update events (default 97,700 —
+	// 1:10,000 of the paper's day).
+	Events int
+	// Partitions and Products size the cluster (defaults 4 / 2,000).
+	Partitions int
+	Products   int
+	// Seed drives catalog and mix generation.
+	Seed int64
+}
+
+func (c *Table1Config) fill() {
+	if c.Events <= 0 {
+		c.Events = 97_700
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Products <= 0 {
+		c.Products = 2_000
+	}
+}
+
+// Table1Result is the measured update mix.
+type Table1Result struct {
+	Config Table1Config
+	// Counts by kind, as applied by the searchers (not merely generated).
+	Total       int64
+	AttrUpdates int64
+	Additions   int64
+	Deletions   int64
+	// ReusedAdditions is additions that reused existing features/records;
+	// FreshExtractions is CNN invocations during the run.
+	ReusedAdditions  int64
+	FreshExtractions int64
+	// Wall is the end-to-end run time; ApplyRate the sustained updates/sec.
+	Wall      time.Duration
+	ApplyRate float64
+}
+
+// RunTable1 executes the experiment.
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	cfg.fill()
+	res := &Table1Result{Config: cfg}
+
+	var mu sync.Mutex
+	var applied, attrs, adds, dels, reusedAdds int64
+	done := make(chan struct{})
+	target := int64(cfg.Events)
+
+	c, err := cluster.Start(cluster.Config{
+		Partitions: cfg.Partitions,
+		NLists:     32,
+		Catalog: catalog.Config{
+			Products:   cfg.Products,
+			Categories: 12,
+			Seed:       cfg.Seed,
+		},
+		OnApplied: func(u *msg.ProductUpdate, kind string, reused bool, lat time.Duration) {
+			mu.Lock()
+			applied++
+			switch kind {
+			case "update":
+				attrs++
+			case "addition":
+				adds++
+				if reused {
+					reusedAdds++
+				}
+			case "deletion":
+				dels++
+			}
+			if applied == target {
+				close(done)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	defer c.Close()
+
+	extractionsBefore := c.Extractor.Calls()
+	gen := workload.NewMix(workload.MixConfig{Seed: cfg.Seed + 1}, c.Catalog, c.Images)
+
+	start := time.Now()
+	published := int64(0)
+	for published < target {
+		u, _, _, err := gen.Next()
+		if err != nil {
+			return nil, fmt.Errorf("table1: generate: %w", err)
+		}
+		// Stream per-image events until the target count is reached
+		// exactly: publish image by image.
+		for _, url := range u.ImageURLs {
+			if published == target {
+				break
+			}
+			per := *u
+			per.ImageURLs = []string{url}
+			per.EventTimeNanos = time.Now().UnixNano()
+			if err := c.Publish(&per); err != nil {
+				return nil, fmt.Errorf("table1: publish: %w", err)
+			}
+			published++
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Minute):
+		return nil, fmt.Errorf("table1: drain timeout (%d/%d applied)", applied, target)
+	}
+	res.Wall = time.Since(start)
+
+	mu.Lock()
+	res.Total = applied
+	res.AttrUpdates = attrs
+	res.Additions = adds
+	res.Deletions = dels
+	res.ReusedAdditions = reusedAdds
+	mu.Unlock()
+	res.FreshExtractions = c.Extractor.Calls() - extractionsBefore
+	if res.Wall > 0 {
+		res.ApplyRate = float64(res.Total) / res.Wall.Seconds()
+	}
+	return res, nil
+}
+
+// Render prints the result in the paper's Table 1 form, with the paper's
+// row alongside for comparison.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Number of Image Updates (scaled 1:%d)\n",
+		int64(workload.Table1Total)*1_000_000/max64(r.Total, 1))
+	row(&b, "", "Total", "AttrUpdate", "ImageAddition", "ImageDeletion")
+	row(&b, "paper (M)", workload.Table1Total, workload.Table1AttrUpdates, workload.Table1Additions, workload.Table1Deletions)
+	row(&b, "measured", r.Total, r.AttrUpdates, r.Additions, r.Deletions)
+	fmt.Fprintf(&b, "\nadditions reusing stored features: %d / %d (%s; paper: 513/521 = 98.5%%)\n",
+		r.ReusedAdditions, r.Additions, scalePct(r.ReusedAdditions, r.Additions))
+	fmt.Fprintf(&b, "fresh CNN extractions performed:   %d\n", r.FreshExtractions)
+	fmt.Fprintf(&b, "wall time %s, sustained %.0f updates/sec\n", fmtDur(r.Wall), r.ApplyRate)
+	return b.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package featuredb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"jdvs/internal/core"
+)
+
+func sampleEntry() *Entry {
+	return &Entry{
+		Feature: []float32{0.5, -0.25, 1.0},
+		Attrs: core.Attrs{
+			ProductID:  42,
+			Sales:      100,
+			Praise:     95,
+			PriceCents: 1999,
+			Category:   3,
+		},
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	db := New()
+	const url = "jfs://img/p42/0.jpg"
+	db.Put(url, sampleEntry())
+	got, err := db.Get(url)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	want := sampleEntry()
+	if len(got.Feature) != len(want.Feature) {
+		t.Fatalf("feature dim %d", len(got.Feature))
+	}
+	for i := range want.Feature {
+		if got.Feature[i] != want.Feature[i] {
+			t.Fatal("feature corrupted")
+		}
+	}
+	// The URL is reconstructed from the key.
+	want.Attrs.URL = url
+	if got.Attrs != want.Attrs {
+		t.Fatalf("attrs = %+v, want %+v", got.Attrs, want.Attrs)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	db := New()
+	_, err := db.Get("nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if db.Has("nope") {
+		t.Fatal("Has on empty db")
+	}
+}
+
+func TestGetOrComputeCachesAndCounts(t *testing.T) {
+	db := New()
+	const url = "jfs://img/p1/0.jpg"
+	calls := 0
+	extract := func() ([]float32, error) {
+		calls++
+		return []float32{1, 2, 3}, nil
+	}
+	e, reused, err := db.GetOrCompute(url, core.Attrs{ProductID: 1}, extract)
+	if err != nil || reused {
+		t.Fatalf("first compute: reused=%v err=%v", reused, err)
+	}
+	if calls != 1 || len(e.Feature) != 3 {
+		t.Fatalf("extract calls = %d", calls)
+	}
+	// Second call: cache hit, no extraction.
+	e2, reused, err := db.GetOrCompute(url, core.Attrs{ProductID: 1}, extract)
+	if err != nil || !reused {
+		t.Fatalf("second compute: reused=%v err=%v", reused, err)
+	}
+	if calls != 1 {
+		t.Fatalf("extract re-ran: %d calls", calls)
+	}
+	if e2.Feature[0] != 1 {
+		t.Fatal("cached feature wrong")
+	}
+	hits, misses := db.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d,%d, want 1,1", hits, misses)
+	}
+	db.ResetStats()
+	if h, m := db.Stats(); h != 0 || m != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestGetOrComputeExtractError(t *testing.T) {
+	db := New()
+	boom := errors.New("gpu on fire")
+	_, _, err := db.GetOrCompute("u", core.Attrs{}, func() ([]float32, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Nothing cached on failure.
+	if db.Has("u") {
+		t.Fatal("failed extraction cached")
+	}
+	if db.Len() != 0 {
+		t.Fatal("db grew on failure")
+	}
+}
+
+func TestEmptyFeature(t *testing.T) {
+	db := New()
+	db.Put("u", &Entry{Feature: nil, Attrs: core.Attrs{ProductID: 9}})
+	got, err := db.Get("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Feature) != 0 || got.Attrs.ProductID != 9 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestConcurrentGetOrCompute(t *testing.T) {
+	db := New()
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				url := fmt.Sprintf("jfs://img/p%d/0.jpg", i%20)
+				e, _, err := db.GetOrCompute(url, core.Attrs{ProductID: uint64(i % 20)}, func() ([]float32, error) {
+					return []float32{float32(i % 20)}, nil
+				})
+				if err != nil {
+					t.Errorf("GetOrCompute: %v", err)
+					return
+				}
+				if len(e.Feature) != 1 {
+					t.Errorf("bad feature %v", e.Feature)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != 20 {
+		t.Fatalf("db has %d entries, want 20", db.Len())
+	}
+	hits, misses := db.Stats()
+	if hits+misses != workers*200 {
+		t.Fatalf("stats don't add up: %d+%d != %d", hits, misses, workers*200)
+	}
+	if misses < 20 {
+		t.Fatalf("misses = %d, want >= 20", misses)
+	}
+}
+
+func TestCorruptEntry(t *testing.T) {
+	db := New()
+	db.kv.Put("bad", []byte{1, 2}) // garbage value
+	if _, err := db.Get("bad"); err == nil {
+		t.Fatal("corrupt entry accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Package imagestore is the image store of Fig. 2: the blob service the
+// indexing pipeline pulls product images from by URL ("the images of new
+// added products during the day are pulled from an image store and their
+// high dimensional features are extracted").
+//
+// It wraps the sharded KV substrate with image-specific semantics: blobs
+// are immutable once stored, and a typed miss error distinguishes "image
+// not yet uploaded" (retryable) from corruption.
+package imagestore
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"jdvs/internal/kv"
+)
+
+// ErrNotFound is returned when no blob exists for a URL.
+var ErrNotFound = errors.New("imagestore: image not found")
+
+// Store maps image URLs to immutable encoded image blobs.
+type Store struct {
+	kv   *kv.Store
+	gets atomic.Int64
+	puts atomic.Int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{kv: kv.NewStore()}
+}
+
+// Put stores blob under url. Re-uploading the same URL is allowed (product
+// photo refresh) and replaces the blob.
+func (s *Store) Put(url string, blob []byte) error {
+	if url == "" {
+		return errors.New("imagestore: empty url")
+	}
+	s.kv.Put(url, blob)
+	s.puts.Add(1)
+	return nil
+}
+
+// Get returns the blob for url.
+func (s *Store) Get(url string) ([]byte, error) {
+	b, ok := s.kv.Get(url)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, url)
+	}
+	s.gets.Add(1)
+	return b, nil
+}
+
+// Has reports whether a blob exists for url.
+func (s *Store) Has(url string) bool { return s.kv.Has(url) }
+
+// Len returns the number of stored images.
+func (s *Store) Len() int { return s.kv.Len() }
+
+// Stats returns cumulative get/put counts.
+func (s *Store) Stats() (gets, puts int64) { return s.gets.Load(), s.puts.Load() }

@@ -1,0 +1,70 @@
+package imagestore
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	if err := s.Put("jfs://a", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("jfs://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "blob" {
+		t.Fatalf("Get = %q", got)
+	}
+	if !s.Has("jfs://a") || s.Has("jfs://b") {
+		t.Fatal("Has wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	_, err := s.Get("jfs://missing")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEmptyURLRejected(t *testing.T) {
+	s := New()
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("empty URL accepted")
+	}
+}
+
+func TestReuploadReplaces(t *testing.T) {
+	s := New()
+	if err := s.Put("u", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("u", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("u")
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New()
+	_ = s.Put("a", []byte("1"))
+	_ = s.Put("b", []byte("2"))
+	_, _ = s.Get("a")
+	_, _ = s.Get("missing") // misses don't count as gets
+	gets, puts := s.Stats()
+	if gets != 1 || puts != 2 {
+		t.Fatalf("stats = %d,%d, want 1,2", gets, puts)
+	}
+}

@@ -1,0 +1,141 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// featMat is the in-shard feature matrix: row i holds the feature vector of
+// image ID i, aligned with the forward index. Rows live in fixed-size
+// chunks behind an atomically published directory, so distance computation
+// on the search path reads rows lock-free while the (single) real-time
+// indexing writer appends.
+type featMat struct {
+	dim int
+
+	mu     sync.Mutex
+	dir    atomic.Pointer[[]*featChunk]
+	length atomic.Uint32
+}
+
+const featRowsPerChunk = 1 << 12 // 4096 rows per chunk
+
+type featChunk struct {
+	rows []float32 // featRowsPerChunk × dim, allocated once
+}
+
+func newFeatMat(dim int) *featMat {
+	m := &featMat{dim: dim}
+	dir := []*featChunk{}
+	m.dir.Store(&dir)
+	return m
+}
+
+// Len returns the number of committed rows.
+func (m *featMat) Len() int { return int(m.length.Load()) }
+
+// Append stores f as the next row and returns its row index. f must have
+// exactly dim components.
+func (m *featMat) Append(f []float32) (uint32, error) {
+	if len(f) != m.dim {
+		return 0, fmt.Errorf("index: feature dim %d, shard dim %d", len(f), m.dim)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.length.Load()
+	chunks := *m.dir.Load()
+	ci := int(id / featRowsPerChunk)
+	if ci >= len(chunks) {
+		next := make([]*featChunk, ci+1)
+		copy(next, chunks)
+		for i := len(chunks); i <= ci; i++ {
+			next[i] = &featChunk{rows: make([]float32, featRowsPerChunk*m.dim)}
+		}
+		m.dir.Store(&next)
+		chunks = next
+	}
+	off := int(id%featRowsPerChunk) * m.dim
+	copy(chunks[ci].rows[off:off+m.dim], f)
+	m.length.Store(id + 1) // publish
+	return id, nil
+}
+
+// Row returns row id as a sub-slice of chunk storage. Rows are immutable
+// once committed; callers must not modify the result. Returns nil for
+// uncommitted ids.
+func (m *featMat) Row(id uint32) []float32 {
+	if id >= m.length.Load() {
+		return nil
+	}
+	chunks := *m.dir.Load()
+	off := int(id%featRowsPerChunk) * m.dim
+	return chunks[id/featRowsPerChunk].rows[off : off+m.dim]
+}
+
+// writeTo serialises the matrix.
+func (m *featMat) writeTo(w io.Writer) (int64, error) {
+	var written int64
+	var hdr [8]byte
+	n := m.length.Load()
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.dim))
+	binary.LittleEndian.PutUint32(hdr[4:8], n)
+	k, err := w.Write(hdr[:])
+	written += int64(k)
+	if err != nil {
+		return written, err
+	}
+	buf := make([]byte, 4*m.dim)
+	for id := uint32(0); id < n; id++ {
+		row := m.Row(id)
+		for i, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		k, err = w.Write(buf)
+		written += int64(k)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// readFrom replaces the matrix contents. Not concurrent-safe.
+func (m *featMat) readFrom(r io.Reader) (int64, error) {
+	var read int64
+	var hdr [8]byte
+	k, err := io.ReadFull(r, hdr[:])
+	read += int64(k)
+	if err != nil {
+		return read, err
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if dim != m.dim {
+		return read, fmt.Errorf("index: snapshot dim %d, shard dim %d", dim, m.dim)
+	}
+	fresh := newFeatMat(dim)
+	buf := make([]byte, 4*dim)
+	row := make([]float32, dim)
+	for id := uint32(0); id < n; id++ {
+		k, err = io.ReadFull(r, buf)
+		read += int64(k)
+		if err != nil {
+			return read, err
+		}
+		for i := range row {
+			row[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		if _, err := fresh.Append(row); err != nil {
+			return read, err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dir.Store(fresh.dir.Load())
+	m.length.Store(fresh.length.Load())
+	return read, nil
+}

@@ -1,0 +1,489 @@
+// Package index implements the per-partition shard index a Searcher owns —
+// the composition of every §2 structure into one searchable, real-time
+// updatable unit:
+//
+//   - the forward index (product attributes, atomic field updates, Fig. 7);
+//   - the IVF inverted index (lock-free appends/scans, expansion, Figs. 5,
+//     8, 9) keyed by a k-means codebook;
+//   - the validity bitmap (deletion and re-listing without structural
+//     mutation);
+//   - the in-shard feature matrix (distance computation on the scan path);
+//   - URL → image and product → images lookup tables driving feature reuse
+//     and product-level operations.
+//
+// Concurrency contract, straight from the paper: one real-time indexing
+// writer per shard (the searcher's queue consumer, Fig. 4) mutates the
+// index while any number of search threads read, without locks on the read
+// path ("there is no conflict between search and update processes for
+// maximum concurrency").
+package index
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"jdvs/internal/bitmapx"
+	"jdvs/internal/core"
+	"jdvs/internal/forward"
+	"jdvs/internal/inverted"
+	"jdvs/internal/kmeans"
+	"jdvs/internal/topk"
+	"jdvs/internal/vecmath"
+)
+
+// Config parameterises a shard.
+type Config struct {
+	// Dim is the feature dimensionality. Required.
+	Dim int
+	// NLists is the number of IVF inverted lists (k-means K). Required.
+	NLists int
+	// ListInitialCap pre-allocates each inverted list (default
+	// inverted.DefaultInitialCap).
+	ListInitialCap int
+	// DefaultNProbe is the number of lists probed when a query does not
+	// specify one (default 8, clamped to NLists).
+	DefaultNProbe int
+}
+
+func (c *Config) validate() error {
+	if c.Dim <= 0 {
+		return errors.New("index: Dim must be positive")
+	}
+	if c.NLists <= 0 {
+		return errors.New("index: NLists must be positive")
+	}
+	if c.DefaultNProbe <= 0 {
+		c.DefaultNProbe = 8
+	}
+	if c.DefaultNProbe > c.NLists {
+		c.DefaultNProbe = c.NLists
+	}
+	return nil
+}
+
+// Stats is a point-in-time summary of shard state.
+type Stats struct {
+	Images        int // total records ever appended
+	ValidImages   int // images whose validity bit is set
+	Products      int // distinct product IDs seen
+	Lists         int
+	Inserts       int64
+	ReusedInserts int64 // insertions satisfied by flipping validity back on
+	Deletions     int64
+	AttrUpdates   int64
+}
+
+// Shard is one partition's index. Construct with New, then Train (or
+// install a codebook / load a snapshot) before inserting.
+type Shard struct {
+	cfg Config
+
+	codebook *kmeans.Codebook // immutable once installed
+	fwd      *forward.Index
+	inv      *inverted.Index
+	valid    *bitmapx.Bitmap
+	feats    *featMat
+
+	// Lookup tables for the real-time indexing writer. Guarded by tabMu:
+	// written only by the single writer, read by Stats/tests and the
+	// writer itself.
+	tabMu     sync.RWMutex
+	byURL     map[string]core.ImageID
+	byProduct map[uint64][]core.ImageID
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// New returns an untrained shard.
+func New(cfg Config) (*Shard, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Shard{
+		cfg:       cfg,
+		fwd:       forward.New(),
+		inv:       inverted.New(cfg.NLists, cfg.ListInitialCap),
+		valid:     bitmapx.New(0),
+		feats:     newFeatMat(cfg.Dim),
+		byURL:     make(map[string]core.ImageID),
+		byProduct: make(map[uint64][]core.ImageID),
+	}, nil
+}
+
+// ErrNotTrained is returned by operations requiring a codebook.
+var ErrNotTrained = errors.New("index: codebook not trained")
+
+// ErrUnknownProduct is returned by product-level operations on products the
+// shard has never seen.
+var ErrUnknownProduct = errors.New("index: unknown product")
+
+// Train fits the IVF codebook on the given training features (flat row-major
+// n×Dim) — §2.2's "k-mean algorithm on a set of training data set".
+func (s *Shard) Train(features []float32, seed int64) error {
+	cb, err := kmeans.Train(kmeans.Config{K: s.cfg.NLists, Dim: s.cfg.Dim, Seed: seed}, features)
+	if err != nil {
+		return fmt.Errorf("index: train: %w", err)
+	}
+	s.codebook = cb
+	return nil
+}
+
+// SetCodebook installs a pre-trained codebook (full indexing distributes
+// one codebook to all shards so cluster IDs agree).
+func (s *Shard) SetCodebook(cb *kmeans.Codebook) error {
+	if cb.Dim != s.cfg.Dim {
+		return fmt.Errorf("index: codebook dim %d, shard dim %d", cb.Dim, s.cfg.Dim)
+	}
+	if cb.K != s.cfg.NLists {
+		return fmt.Errorf("index: codebook K %d, shard NLists %d", cb.K, s.cfg.NLists)
+	}
+	s.codebook = cb
+	return nil
+}
+
+// Codebook returns the installed codebook (nil if untrained).
+func (s *Shard) Codebook() *kmeans.Codebook { return s.codebook }
+
+// Trained reports whether a codebook is installed.
+func (s *Shard) Trained() bool { return s.codebook != nil }
+
+// Config returns the shard's configuration.
+func (s *Shard) Config() Config { return s.cfg }
+
+// Insert adds an image with its feature vector and product attributes
+// (Fig. 8). If the URL was indexed before — the product was "removed from
+// the market and put back" (§2.3) — the stored record and features are
+// reused: the validity bit flips on, attributes refresh, and no new
+// forward/inverted entries are created. It returns the image's ID and
+// whether an existing record was reused.
+func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool, error) {
+	if s.codebook == nil {
+		return 0, false, ErrNotTrained
+	}
+	if attrs.URL == "" {
+		return 0, false, errors.New("index: insert needs an image URL")
+	}
+
+	s.tabMu.RLock()
+	id, exists := s.byURL[attrs.URL]
+	s.tabMu.RUnlock()
+	if exists {
+		// Reuse path: revalidate and refresh numeric attributes.
+		s.valid.Set(id)
+		s.fwd.SetSales(id, attrs.Sales)
+		s.fwd.SetPraise(id, attrs.Praise)
+		s.fwd.SetPrice(id, attrs.PriceCents)
+		s.bump(func(st *Stats) { st.Inserts++; st.ReusedInserts++ })
+		return id, true, nil
+	}
+
+	if len(feature) != s.cfg.Dim {
+		return 0, false, fmt.Errorf("index: feature dim %d, shard dim %d", len(feature), s.cfg.Dim)
+	}
+	// New image: forward record + feature row + inverted entry + validity.
+	id, err := s.fwd.Append(attrs)
+	if err != nil {
+		return 0, false, fmt.Errorf("index: forward append: %w", err)
+	}
+	fid, err := s.feats.Append(feature)
+	if err != nil {
+		return 0, false, fmt.Errorf("index: feature append: %w", err)
+	}
+	if fid != id {
+		return 0, false, fmt.Errorf("index: id skew: forward %d, features %d", id, fid)
+	}
+	cluster := s.codebook.Assign(feature)
+	if err := s.inv.Append(cluster, id); err != nil {
+		return 0, false, fmt.Errorf("index: inverted append: %w", err)
+	}
+	s.valid.Set(id)
+
+	s.tabMu.Lock()
+	s.byURL[attrs.URL] = id
+	s.byProduct[attrs.ProductID] = append(s.byProduct[attrs.ProductID], id)
+	s.tabMu.Unlock()
+
+	s.bump(func(st *Stats) { st.Inserts++ })
+	return id, false, nil
+}
+
+// HasURL reports whether the shard has ever indexed url (valid or not).
+func (s *Shard) HasURL(url string) bool {
+	s.tabMu.RLock()
+	defer s.tabMu.RUnlock()
+	_, ok := s.byURL[url]
+	return ok
+}
+
+// RemoveProduct flips the validity bit of every image of the product to 0
+// (§2.3 "Deletion: ... as simple as changing the corresponding validity
+// flag in the bitmap from 1 (valid) to 0 (invalid)").
+func (s *Shard) RemoveProduct(productID uint64) (int, error) {
+	s.tabMu.RLock()
+	ids := s.byProduct[productID]
+	s.tabMu.RUnlock()
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownProduct, productID)
+	}
+	n := 0
+	for _, id := range ids {
+		if s.valid.Clear(id) {
+			n++
+		}
+	}
+	s.bump(func(st *Stats) { st.Deletions += int64(n) })
+	return n, nil
+}
+
+// RemoveImageURL flips the validity bit of one image addressed by URL —
+// the per-image deletion path used when update events are routed by
+// hash(URL) to the owning partition. It reports whether the bit changed.
+func (s *Shard) RemoveImageURL(url string) (bool, error) {
+	s.tabMu.RLock()
+	id, ok := s.byURL[url]
+	s.tabMu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("%w: url %q", ErrUnknownProduct, url)
+	}
+	changed := s.valid.Clear(id)
+	if changed {
+		s.bump(func(st *Stats) { st.Deletions++ })
+	}
+	return changed, nil
+}
+
+// UpdateAttrsURL atomically updates the numeric attributes of one image
+// addressed by URL (Fig. 7).
+func (s *Shard) UpdateAttrsURL(url string, sales, praise, price uint32) error {
+	s.tabMu.RLock()
+	id, ok := s.byURL[url]
+	s.tabMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: url %q", ErrUnknownProduct, url)
+	}
+	s.fwd.SetSales(id, sales)
+	s.fwd.SetPraise(id, praise)
+	s.fwd.SetPrice(id, price)
+	s.bump(func(st *Stats) { st.AttrUpdates++ })
+	return nil
+}
+
+// UpdateAttrs atomically updates the numeric attributes of every image of
+// the product (Fig. 7). Unknown products return ErrUnknownProduct so the
+// caller can decide whether the update was misrouted.
+func (s *Shard) UpdateAttrs(productID uint64, sales, praise, price uint32) (int, error) {
+	s.tabMu.RLock()
+	ids := s.byProduct[productID]
+	s.tabMu.RUnlock()
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownProduct, productID)
+	}
+	for _, id := range ids {
+		s.fwd.SetSales(id, sales)
+		s.fwd.SetPraise(id, praise)
+		s.fwd.SetPrice(id, price)
+	}
+	s.bump(func(st *Stats) { st.AttrUpdates++ })
+	return len(ids), nil
+}
+
+// ProductImages returns the image IDs of a product (empty if unknown).
+func (s *Shard) ProductImages(productID uint64) []core.ImageID {
+	s.tabMu.RLock()
+	defer s.tabMu.RUnlock()
+	ids := s.byProduct[productID]
+	out := make([]core.ImageID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// Valid reports whether image id is currently searchable.
+func (s *Shard) Valid(id core.ImageID) bool { return s.valid.Get(id) }
+
+// Attrs returns the forward-index record of image id.
+func (s *Shard) Attrs(id core.ImageID) (core.Attrs, bool) { return s.fwd.Get(id) }
+
+// Feature returns image id's feature row (nil if unknown). Callers must
+// not modify it.
+func (s *Shard) Feature(id core.ImageID) []float32 { return s.feats.Row(id) }
+
+// Search scans the nprobe nearest inverted lists and returns the k nearest
+// valid images with their attributes (§2.4). Lock-free with respect to the
+// real-time indexing writer.
+func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
+	if s.codebook == nil {
+		return nil, ErrNotTrained
+	}
+	if len(req.Feature) != s.cfg.Dim {
+		return nil, fmt.Errorf("index: query dim %d, shard dim %d", len(req.Feature), s.cfg.Dim)
+	}
+	k := req.TopK
+	if k <= 0 {
+		k = 10
+	}
+	nprobe := req.NProbe
+	if nprobe <= 0 {
+		nprobe = s.cfg.DefaultNProbe
+	}
+	lists := s.codebook.AssignN(req.Feature, nprobe)
+
+	sel := topk.New(k)
+	scanned := 0
+	for _, c := range lists {
+		s.inv.Scan(c, func(id uint32) bool {
+			if !s.valid.Get(id) {
+				return true // off-market: excluded from search (§2.2)
+			}
+			if req.Category >= 0 {
+				_, _, _, cat, ok := s.fwd.Numeric(id)
+				if !ok || int32(cat) != req.Category {
+					return true
+				}
+			}
+			row := s.feats.Row(id)
+			if row == nil {
+				return true
+			}
+			scanned++
+			sel.Push(uint64(id), vecmath.L2Squared(req.Feature, row))
+			return true
+		})
+	}
+
+	items := sel.Results()
+	resp := &core.SearchResponse{
+		Hits:    make([]core.Hit, 0, len(items)),
+		Scanned: scanned,
+		Probed:  len(lists),
+	}
+	for _, it := range items {
+		id := uint32(it.ID)
+		a, ok := s.fwd.Get(id)
+		if !ok {
+			continue
+		}
+		resp.Hits = append(resp.Hits, core.Hit{
+			Image:      core.ImageRef{Local: id},
+			Dist:       it.Dist,
+			ProductID:  a.ProductID,
+			Sales:      a.Sales,
+			Praise:     a.Praise,
+			PriceCents: a.PriceCents,
+			Category:   a.Category,
+			URL:        a.URL,
+		})
+	}
+	return resp, nil
+}
+
+// Stats returns a snapshot of shard counters.
+func (s *Shard) Stats() Stats {
+	s.statsMu.Lock()
+	st := s.stats
+	s.statsMu.Unlock()
+	st.Images = s.fwd.Len()
+	st.ValidImages = s.valid.Count()
+	st.Lists = s.inv.Lists()
+	s.tabMu.RLock()
+	st.Products = len(s.byProduct)
+	s.tabMu.RUnlock()
+	return st
+}
+
+func (s *Shard) bump(fn func(*Stats)) {
+	s.statsMu.Lock()
+	fn(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// snapshot format identifiers.
+const (
+	snapMagic   = "JDVSSNAP"
+	snapVersion = 1
+)
+
+// WriteSnapshot serialises the full shard (codebook, forward, inverted,
+// bitmap, features). The real-time writer must be quiesced.
+func (s *Shard) WriteSnapshot(w io.Writer) error {
+	if s.codebook == nil {
+		return ErrNotTrained
+	}
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{snapVersion}); err != nil {
+		return err
+	}
+	if err := writeCodebook(w, s.codebook); err != nil {
+		return fmt.Errorf("index: snapshot codebook: %w", err)
+	}
+	if _, err := s.fwd.WriteTo(w); err != nil {
+		return fmt.Errorf("index: snapshot forward: %w", err)
+	}
+	if _, err := s.inv.WriteTo(w); err != nil {
+		return fmt.Errorf("index: snapshot inverted: %w", err)
+	}
+	if err := writeBitmap(w, s.valid); err != nil {
+		return fmt.Errorf("index: snapshot bitmap: %w", err)
+	}
+	if _, err := s.feats.writeTo(w); err != nil {
+		return fmt.Errorf("index: snapshot features: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot replaces the shard contents from a WriteSnapshot stream and
+// rebuilds the lookup tables from the forward index. Readers and the
+// writer must be quiesced.
+func (s *Shard) LoadSnapshot(r io.Reader) error {
+	magic := make([]byte, len(snapMagic)+1)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("index: snapshot header: %w", err)
+	}
+	if string(magic[:len(snapMagic)]) != snapMagic {
+		return errors.New("index: bad snapshot magic")
+	}
+	if magic[len(snapMagic)] != snapVersion {
+		return fmt.Errorf("index: unsupported snapshot version %d", magic[len(snapMagic)])
+	}
+	cb, err := readCodebook(r)
+	if err != nil {
+		return fmt.Errorf("index: snapshot codebook: %w", err)
+	}
+	if err := s.SetCodebook(cb); err != nil {
+		return err
+	}
+	if _, err := s.fwd.ReadFrom(r); err != nil {
+		return fmt.Errorf("index: snapshot forward: %w", err)
+	}
+	if _, err := s.inv.ReadFrom(r); err != nil {
+		return fmt.Errorf("index: snapshot inverted: %w", err)
+	}
+	if err := readBitmap(r, s.valid); err != nil {
+		return fmt.Errorf("index: snapshot bitmap: %w", err)
+	}
+	if _, err := s.feats.readFrom(r); err != nil {
+		return fmt.Errorf("index: snapshot features: %w", err)
+	}
+	// Rebuild lookup tables from the forward index.
+	byURL := make(map[string]core.ImageID, s.fwd.Len())
+	byProduct := make(map[uint64][]core.ImageID)
+	for id := uint32(0); id < uint32(s.fwd.Len()); id++ {
+		a, ok := s.fwd.Get(id)
+		if !ok {
+			continue
+		}
+		if a.URL != "" {
+			byURL[a.URL] = id
+		}
+		byProduct[a.ProductID] = append(byProduct[a.ProductID], id)
+	}
+	s.tabMu.Lock()
+	s.byURL = byURL
+	s.byProduct = byProduct
+	s.tabMu.Unlock()
+	return nil
+}

@@ -1,0 +1,126 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jdvs/internal/core"
+)
+
+func benchShard(b *testing.B, n int) (*Shard, [][]float32) {
+	b.Helper()
+	const dim = 64
+	s, err := New(Config{Dim: dim, NLists: 64, DefaultNProbe: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	train := make([]float32, 2_000*dim)
+	for i := range train {
+		train[i] = float32(rng.NormFloat64())
+	}
+	if err := s.Train(train, 1); err != nil {
+		b.Fatal(err)
+	}
+	feats := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		f := make([]float32, dim)
+		for d := range f {
+			f[d] = float32(rng.NormFloat64())
+		}
+		feats[i] = f
+		a := core.Attrs{
+			ProductID: uint64(i + 1),
+			URL:       fmt.Sprintf("jfs://bench/p%d.jpg", i),
+			Category:  uint16(i % 8),
+		}
+		if _, _, err := s.Insert(a, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, feats
+}
+
+// BenchmarkSearch measures the full per-partition query path: probe
+// selection, list scans, distance computation, top-k and result assembly.
+func BenchmarkSearch(b *testing.B) {
+	for _, n := range []int{10_000, 50_000} {
+		b.Run(fmt.Sprintf("images=%d", n), func(b *testing.B) {
+			s, feats := benchShard(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := &core.SearchRequest{Feature: feats[i%len(feats)], TopK: 10, NProbe: 8, Category: -1}
+				if _, err := s.Search(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsertFresh measures indexing a brand-new image (forward
+// append + feature row + cluster assign + inverted append + bitmap).
+func BenchmarkInsertFresh(b *testing.B) {
+	s, _ := benchShard(b, 1_000)
+	rng := rand.New(rand.NewSource(9))
+	const dim = 64
+	feats := make([][]float32, 4096)
+	for i := range feats {
+		f := make([]float32, dim)
+		for d := range f {
+			f[d] = float32(rng.NormFloat64())
+		}
+		feats[i] = f
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := core.Attrs{ProductID: uint64(10_000 + i), URL: fmt.Sprintf("jfs://fresh/p%d.jpg", i)}
+		if _, _, err := s.Insert(a, feats[i%len(feats)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertReuse measures the re-listing path (§2.3): bitmap flip
+// plus attribute refresh, no structural work.
+func BenchmarkInsertReuse(b *testing.B) {
+	s, _ := benchShard(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := core.Attrs{ProductID: uint64(i%10_000 + 1), URL: fmt.Sprintf("jfs://bench/p%d.jpg", i%10_000)}
+		if _, reused, err := s.Insert(a, nil); err != nil || !reused {
+			b.Fatal("reuse path broke")
+		}
+	}
+}
+
+// BenchmarkRemoveProduct measures deletion: one bitmap flip per image.
+func BenchmarkRemoveProduct(b *testing.B) {
+	s, _ := benchShard(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i%10_000 + 1)
+		if i%2 == 0 {
+			_, _ = s.RemoveProduct(id)
+		} else {
+			_, _, _ = s.Insert(core.Attrs{ProductID: id, URL: fmt.Sprintf("jfs://bench/p%d.jpg", i%10_000)}, nil)
+		}
+	}
+}
+
+// BenchmarkUpdateAttrs measures the Fig. 7 product-level numeric update.
+func BenchmarkUpdateAttrs(b *testing.B) {
+	s, _ := benchShard(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.UpdateAttrs(uint64(i%10_000+1), uint32(i), 50, 999); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"jdvs/internal/bitmapx"
+	"jdvs/internal/kmeans"
+)
+
+// writeCodebook serialises a codebook: [4B K][4B Dim][K*Dim float32].
+func writeCodebook(w io.Writer, cb *kmeans.Codebook) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(cb.K))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(cb.Dim))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(cb.Centroids))
+	for i, v := range cb.Centroids {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readCodebook(r io.Reader) (*kmeans.Codebook, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	k := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	dim := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if k <= 0 || dim <= 0 || k > 1<<20 || dim > 1<<14 {
+		return nil, fmt.Errorf("index: corrupt codebook header (K=%d Dim=%d)", k, dim)
+	}
+	buf := make([]byte, 4*k*dim)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	cents := make([]float32, k*dim)
+	for i := range cents {
+		cents[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return &kmeans.Codebook{K: k, Dim: dim, Centroids: cents}, nil
+}
+
+// writeBitmap serialises the validity bitmap: [4B words][words*8B].
+func writeBitmap(w io.Writer, b *bitmapx.Bitmap) error {
+	words := b.Snapshot()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(words)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(words))
+	for i, v := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readBitmap(r io.Reader, b *bitmapx.Bitmap) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > 1<<26 { // 512 MiB of bitmap words: corruption guard
+		return fmt.Errorf("index: corrupt bitmap header (%d words)", n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	b.Restore(words)
+	return nil
+}

@@ -1,0 +1,307 @@
+// Package indexer implements the indexing sub-system of Figs. 2–4: the
+// feature-resolution protocol shared by both indexing paths, the event
+// routing that expands product updates into per-image messages placed by
+// hash(URL), and the periodic full indexing that rebuilds every partition
+// from the day's message log.
+package indexer
+
+import (
+	"errors"
+	"fmt"
+
+	"jdvs/internal/cnn"
+	"jdvs/internal/core"
+	"jdvs/internal/featuredb"
+	"jdvs/internal/imagestore"
+	"jdvs/internal/index"
+	"jdvs/internal/kmeans"
+	"jdvs/internal/mq"
+	"jdvs/internal/msg"
+)
+
+// Resolver implements check-before-extract (Fig. 2): "the feature
+// extraction process first checks if the image's features have been
+// extracted through a distributed key-value store. If it is a new image,
+// the features are extracted and stored in the feature database."
+type Resolver struct {
+	DB        *featuredb.DB
+	Images    *imagestore.Store
+	Extractor *cnn.Extractor
+}
+
+// Resolve returns the feature entry for url, extracting and caching it on
+// first sight. reused reports whether extraction was avoided.
+func (r *Resolver) Resolve(url string, attrs core.Attrs) (entry *featuredb.Entry, reused bool, err error) {
+	return r.DB.GetOrCompute(url, attrs, func() ([]float32, error) {
+		blob, err := r.Images.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		return r.Extractor.ExtractBytes(blob)
+	})
+}
+
+// UpdatesTopic is the canonical topic name carrying product update events.
+const UpdatesTopic = "product-updates"
+
+// RouteUpdate expands one product-level update into per-image messages and
+// produces each onto the partition selected by hashing its image URL — the
+// same placement rule the index uses (§2.4), so every event lands on the
+// searcher that owns the image. It returns the number of per-image
+// messages produced.
+func RouteUpdate(q *mq.Queue, u *msg.ProductUpdate) (int, error) {
+	if len(u.ImageURLs) == 0 {
+		return 0, errors.New("indexer: update carries no image URLs")
+	}
+	n := 0
+	for _, url := range u.ImageURLs {
+		per := *u
+		per.ImageURLs = []string{url}
+		if _, _, err := q.ProduceKeyed(UpdatesTopic, url, per.Encode()); err != nil {
+			return n, fmt.Errorf("indexer: route %s: %w", url, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Apply applies one decoded per-image update event to a shard, resolving
+// features through the resolver exactly per Fig. 6's decision tree. It
+// returns the kind of operation performed ("addition", "deletion",
+// "update") and whether stored features/records were reused.
+func Apply(s *index.Shard, r *Resolver, u *msg.ProductUpdate) (kind string, reused bool, err error) {
+	switch u.Type {
+	case msg.TypeAddProduct:
+		if len(u.ImageURLs) != 1 {
+			return "", false, fmt.Errorf("indexer: addition carries %d urls, want 1", len(u.ImageURLs))
+		}
+		url := u.ImageURLs[0]
+		attrs := core.Attrs{
+			ProductID:  u.ProductID,
+			Sales:      u.Sales,
+			Praise:     u.Praise,
+			PriceCents: u.PriceCents,
+			Category:   u.Category,
+			URL:        url,
+		}
+		// Fast reuse path: the shard has the record; flipping validity back
+		// on needs no feature at all (§2.3 "Insertion": "if it is, we simply
+		// update its validity in the bitmap and reuse its images' features").
+		if s.HasURL(url) {
+			_, _, err := s.Insert(attrs, nil)
+			return "addition", true, err
+		}
+		entry, hadFeatures, err := r.Resolve(url, attrs)
+		if err != nil {
+			return "", false, fmt.Errorf("indexer: resolve %s: %w", url, err)
+		}
+		_, _, err = s.Insert(attrs, entry.Feature)
+		return "addition", hadFeatures, err
+
+	case msg.TypeRemoveProduct:
+		if len(u.ImageURLs) != 1 {
+			return "", false, fmt.Errorf("indexer: deletion carries %d urls, want 1", len(u.ImageURLs))
+		}
+		_, err := s.RemoveImageURL(u.ImageURLs[0])
+		if err != nil && errors.Is(err, index.ErrUnknownProduct) {
+			// Deleting an image this shard never indexed: tolerated (the
+			// product may have been listed before the index epoch).
+			return "deletion", false, nil
+		}
+		return "deletion", false, err
+
+	case msg.TypeUpdateAttrs:
+		if len(u.ImageURLs) != 1 {
+			return "", false, fmt.Errorf("indexer: attr update carries %d urls, want 1", len(u.ImageURLs))
+		}
+		err := s.UpdateAttrsURL(u.ImageURLs[0], u.Sales, u.Praise, u.PriceCents)
+		if err != nil && errors.Is(err, index.ErrUnknownProduct) {
+			return "update", false, nil
+		}
+		return "update", false, err
+
+	default:
+		return "", false, fmt.Errorf("indexer: unknown event type %d", u.Type)
+	}
+}
+
+// FullConfig parameterises a full indexing run.
+type FullConfig struct {
+	// Partitions is the number of index partitions to build. Required.
+	Partitions int
+	// Shard configures each partition's index. Required fields per
+	// index.Config.
+	Shard index.Config
+	// TrainSample caps how many image features train the codebook
+	// (default 10,000).
+	TrainSample int
+	// Seed drives k-means.
+	Seed int64
+}
+
+// FullIndexer is the periodic full indexing of §2.2: it replays the day's
+// message log in order, reconstructs final product state, resolves features
+// (reusing previously extracted ones), trains the codebook, and builds
+// fresh per-partition shards containing only the currently valid images.
+type FullIndexer struct {
+	cfg FullConfig
+	res *Resolver
+}
+
+// NewFull returns a full indexer.
+func NewFull(cfg FullConfig, res *Resolver) (*FullIndexer, error) {
+	if cfg.Partitions <= 0 {
+		return nil, errors.New("indexer: Partitions must be positive")
+	}
+	if cfg.TrainSample <= 0 {
+		cfg.TrainSample = 10_000
+	}
+	if err := checkShardConfig(cfg.Shard); err != nil {
+		return nil, err
+	}
+	return &FullIndexer{cfg: cfg, res: res}, nil
+}
+
+func checkShardConfig(c index.Config) error {
+	if c.Dim <= 0 || c.NLists <= 0 {
+		return errors.New("indexer: shard config needs Dim and NLists")
+	}
+	return nil
+}
+
+// imageState is the replayed final state of one image URL.
+type imageState struct {
+	attrs core.Attrs
+	valid bool
+	seq   uint64
+}
+
+// Build replays every partition of the updates topic from offset 0 and
+// returns freshly built shards (index p serves partition p) plus the
+// codebook they share.
+func (fi *FullIndexer) Build(q *mq.Queue) ([]*index.Shard, *kmeans.Codebook, error) {
+	states, err := fi.replay(q)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Resolve features for valid images (check-before-extract: almost all
+	// of these hit the feature DB because the real-time path already
+	// extracted them).
+	type resolved struct {
+		attrs   core.Attrs
+		feature []float32
+	}
+	perPartition := make([][]resolved, fi.cfg.Partitions)
+	train := make([]float32, 0, fi.cfg.TrainSample*fi.cfg.Shard.Dim)
+	trained := 0
+	for url, st := range states {
+		if !st.valid {
+			continue // "only the valid images are used to create the full index"
+		}
+		entry, _, err := fi.res.Resolve(url, st.attrs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("indexer: full build resolve %s: %w", url, err)
+		}
+		p := int(mq.PartitionFor(url, fi.cfg.Partitions))
+		perPartition[p] = append(perPartition[p], resolved{attrs: st.attrs, feature: entry.Feature})
+		if trained < fi.cfg.TrainSample {
+			train = append(train, entry.Feature...)
+			trained++
+		}
+	}
+	if trained == 0 {
+		return nil, nil, errors.New("indexer: no valid images to index")
+	}
+
+	cb, err := kmeans.Train(kmeans.Config{
+		K:    fi.cfg.Shard.NLists,
+		Dim:  fi.cfg.Shard.Dim,
+		Seed: fi.cfg.Seed,
+	}, train)
+	if err != nil {
+		return nil, nil, fmt.Errorf("indexer: train codebook: %w", err)
+	}
+
+	shards := make([]*index.Shard, fi.cfg.Partitions)
+	for p := range shards {
+		s, err := index.New(fi.cfg.Shard)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.SetCodebook(cb); err != nil {
+			return nil, nil, err
+		}
+		for _, rv := range perPartition[p] {
+			if _, _, err := s.Insert(rv.attrs, rv.feature); err != nil {
+				return nil, nil, fmt.Errorf("indexer: full build insert %s: %w", rv.attrs.URL, err)
+			}
+		}
+		shards[p] = s
+	}
+	return shards, cb, nil
+}
+
+// replay folds the day's log into final per-image state, processing each
+// partition's messages in order.
+func (fi *FullIndexer) replay(q *mq.Queue) (map[string]*imageState, error) {
+	nParts := q.Partitions(UpdatesTopic)
+	if nParts == 0 {
+		return nil, fmt.Errorf("indexer: topic %q does not exist", UpdatesTopic)
+	}
+	states := make(map[string]*imageState)
+	for p := 0; p < nParts; p++ {
+		c, err := q.NewConsumer(UpdatesTopic, p, 0)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			msgs, err := c.Poll(1024, 0)
+			if err != nil {
+				return nil, fmt.Errorf("indexer: replay partition %d: %w", p, err)
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				u, err := msg.Decode(m.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("indexer: replay decode (partition %d offset %d): %w", p, m.Offset, err)
+				}
+				fi.fold(states, u)
+			}
+		}
+	}
+	return states, nil
+}
+
+func (fi *FullIndexer) fold(states map[string]*imageState, u *msg.ProductUpdate) {
+	for _, url := range u.ImageURLs {
+		st := states[url]
+		if st == nil {
+			st = &imageState{}
+			states[url] = st
+		}
+		switch u.Type {
+		case msg.TypeAddProduct:
+			st.valid = true
+			st.attrs = core.Attrs{
+				ProductID:  u.ProductID,
+				Sales:      u.Sales,
+				Praise:     u.Praise,
+				PriceCents: u.PriceCents,
+				Category:   u.Category,
+				URL:        url,
+			}
+		case msg.TypeRemoveProduct:
+			st.valid = false
+		case msg.TypeUpdateAttrs:
+			if st.attrs.URL != "" {
+				st.attrs.Sales = u.Sales
+				st.attrs.Praise = u.Praise
+				st.attrs.PriceCents = u.PriceCents
+			}
+		}
+		st.seq = u.Seq
+	}
+}

@@ -1,0 +1,373 @@
+package indexer
+
+import (
+	"errors"
+	"testing"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cnn"
+	"jdvs/internal/core"
+	"jdvs/internal/featuredb"
+	"jdvs/internal/imagestore"
+	"jdvs/internal/index"
+	"jdvs/internal/mq"
+	"jdvs/internal/msg"
+)
+
+const testDim = 16
+
+type fixture struct {
+	queue  *mq.Queue
+	images *imagestore.Store
+	res    *Resolver
+	cat    *catalog.Catalog
+}
+
+func newFixture(t *testing.T, products, partitions int) *fixture {
+	t.Helper()
+	f := &fixture{
+		queue:  mq.New(),
+		images: imagestore.New(),
+	}
+	t.Cleanup(f.queue.Close)
+	if err := f.queue.CreateTopic(UpdatesTopic, partitions); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Generate(catalog.Config{Products: products, Categories: 4, Seed: 11}, f.images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.cat = cat
+	f.res = &Resolver{
+		DB:        featuredb.New(),
+		Images:    f.images,
+		Extractor: cnn.New(cnn.Config{Dim: testDim, Seed: 5}),
+	}
+	return f
+}
+
+func (f *fixture) addEvent(p *catalog.Product, seq uint64) *msg.ProductUpdate {
+	return &msg.ProductUpdate{
+		Type:       msg.TypeAddProduct,
+		ProductID:  p.ID,
+		Category:   p.Category,
+		Sales:      p.Sales,
+		Praise:     p.Praise,
+		PriceCents: p.PriceCents,
+		ImageURLs:  append([]string(nil), p.ImageURLs...),
+		Seq:        seq,
+	}
+}
+
+func TestResolverChecksBeforeExtract(t *testing.T) {
+	f := newFixture(t, 5, 2)
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+
+	entry, reused, err := f.res.Resolve(url, p.Attrs(url))
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if reused {
+		t.Fatal("first resolve reported reuse")
+	}
+	if len(entry.Feature) != testDim {
+		t.Fatalf("feature dim %d", len(entry.Feature))
+	}
+	calls := f.res.Extractor.Calls()
+
+	// Second resolve: must reuse, no new extraction.
+	_, reused, err = f.res.Resolve(url, p.Attrs(url))
+	if err != nil || !reused {
+		t.Fatalf("second resolve: reused=%v err=%v", reused, err)
+	}
+	if f.res.Extractor.Calls() != calls {
+		t.Fatal("re-resolve re-extracted")
+	}
+}
+
+func TestResolverMissingImage(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	_, _, err := f.res.Resolve("jfs://missing.jpg", core.Attrs{})
+	if err == nil {
+		t.Fatal("missing image resolved")
+	}
+	if !errors.Is(err, imagestore.ErrNotFound) {
+		t.Fatalf("err = %v, want imagestore.ErrNotFound in chain", err)
+	}
+}
+
+func TestRouteUpdateSplitsPerImage(t *testing.T) {
+	f := newFixture(t, 3, 4)
+	p := &f.cat.Products[0]
+	n, err := RouteUpdate(f.queue, f.addEvent(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(p.ImageURLs) {
+		t.Fatalf("routed %d messages, want %d", n, len(p.ImageURLs))
+	}
+	// Each message carries exactly one URL and sits on its hash partition.
+	total := 0
+	for part := 0; part < 4; part++ {
+		c, err := f.queue.NewConsumer(UpdatesTopic, part, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs, err := c.Poll(100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			u, err := msg.Decode(m.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(u.ImageURLs) != 1 {
+				t.Fatalf("message carries %d urls", len(u.ImageURLs))
+			}
+			if want := int(mq.PartitionFor(u.ImageURLs[0], 4)); want != part {
+				t.Fatalf("url %s on partition %d, want %d", u.ImageURLs[0], part, want)
+			}
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("found %d routed messages, want %d", total, n)
+	}
+	// No URLs: error.
+	if _, err := RouteUpdate(f.queue, &msg.ProductUpdate{Type: msg.TypeAddProduct}); err == nil {
+		t.Fatal("urlless update routed")
+	}
+}
+
+func newShard(t *testing.T, f *fixture) *index.Shard {
+	t.Helper()
+	s, err := index.New(index.Config{Dim: testDim, NLists: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on features of the catalog's images.
+	train := make([]float32, 0, 64*testDim)
+	for i := range f.cat.Products {
+		p := &f.cat.Products[i]
+		entry, _, err := f.res.Resolve(p.ImageURLs[0], p.Attrs(p.ImageURLs[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		train = append(train, entry.Feature...)
+	}
+	if err := s.Train(train, 1); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestApplyLifecycle(t *testing.T) {
+	f := newFixture(t, 10, 1)
+	s := newShard(t, f)
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+
+	one := func(typ msg.Type) *msg.ProductUpdate {
+		u := f.addEvent(p, 1)
+		u.Type = typ
+		u.ImageURLs = []string{url}
+		return u
+	}
+
+	// Addition.
+	kind, reused, err := Apply(s, f.res, one(msg.TypeAddProduct))
+	if err != nil || kind != "addition" {
+		t.Fatalf("add: kind=%q err=%v", kind, err)
+	}
+	// Features were already in the DB from shard training resolve: reused.
+	if !reused {
+		t.Fatal("expected feature reuse from feature DB")
+	}
+	if !s.HasURL(url) {
+		t.Fatal("image not indexed")
+	}
+
+	// Attr update.
+	upd := one(msg.TypeUpdateAttrs)
+	upd.Sales = 31337
+	kind, _, err = Apply(s, f.res, upd)
+	if err != nil || kind != "update" {
+		t.Fatalf("update: kind=%q err=%v", kind, err)
+	}
+	ids := s.ProductImages(p.ID)
+	a, _ := s.Attrs(ids[0])
+	if a.Sales != 31337 {
+		t.Fatalf("sales = %d", a.Sales)
+	}
+
+	// Deletion.
+	kind, _, err = Apply(s, f.res, one(msg.TypeRemoveProduct))
+	if err != nil || kind != "deletion" {
+		t.Fatalf("delete: kind=%q err=%v", kind, err)
+	}
+	if s.Valid(ids[0]) {
+		t.Fatal("image valid after deletion")
+	}
+
+	// Re-addition: shard-level record reuse, no resolve needed.
+	kind, reused, err = Apply(s, f.res, one(msg.TypeAddProduct))
+	if err != nil || kind != "addition" || !reused {
+		t.Fatalf("re-add: kind=%q reused=%v err=%v", kind, reused, err)
+	}
+	if !s.Valid(ids[0]) {
+		t.Fatal("image invalid after re-add")
+	}
+}
+
+func TestApplyToleratesUnknownTargets(t *testing.T) {
+	f := newFixture(t, 3, 1)
+	s := newShard(t, f)
+	// Deleting / updating an image the shard never saw: tolerated no-ops.
+	del := &msg.ProductUpdate{Type: msg.TypeRemoveProduct, ImageURLs: []string{"jfs://ghost.jpg"}}
+	if _, _, err := Apply(s, f.res, del); err != nil {
+		t.Fatalf("ghost delete errored: %v", err)
+	}
+	upd := &msg.ProductUpdate{Type: msg.TypeUpdateAttrs, ImageURLs: []string{"jfs://ghost.jpg"}}
+	if _, _, err := Apply(s, f.res, upd); err != nil {
+		t.Fatalf("ghost update errored: %v", err)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	f := newFixture(t, 3, 1)
+	s := newShard(t, f)
+	// Multi-URL messages must have been split by RouteUpdate.
+	bad := f.addEvent(&f.cat.Products[0], 1)
+	if len(bad.ImageURLs) < 2 {
+		bad.ImageURLs = append(bad.ImageURLs, "jfs://extra.jpg")
+	}
+	if _, _, err := Apply(s, f.res, bad); err == nil {
+		t.Fatal("multi-url addition applied")
+	}
+	if _, _, err := Apply(s, f.res, &msg.ProductUpdate{Type: 99, ImageURLs: []string{"u"}}); err == nil {
+		t.Fatal("unknown type applied")
+	}
+}
+
+func TestFullBuildFromLog(t *testing.T) {
+	const partitions = 3
+	f := newFixture(t, 30, partitions)
+	var seq uint64
+	// Feed: add everything, delete a few, update one, re-add one deleted.
+	for i := range f.cat.Products {
+		seq++
+		if _, err := RouteUpdate(f.queue, f.addEvent(&f.cat.Products[i], seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := &f.cat.Products[2]
+	stillGone := &f.cat.Products[4]
+	for _, p := range []*catalog.Product{removed, stillGone} {
+		seq++
+		u := f.addEvent(p, seq)
+		u.Type = msg.TypeRemoveProduct
+		if _, err := RouteUpdate(f.queue, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq++
+	upd := f.addEvent(&f.cat.Products[6], seq)
+	upd.Type = msg.TypeUpdateAttrs
+	upd.Sales = 424242
+	if _, err := RouteUpdate(f.queue, upd); err != nil {
+		t.Fatal(err)
+	}
+	seq++
+	if _, err := RouteUpdate(f.queue, f.addEvent(removed, seq)); err != nil { // back on market
+		t.Fatal(err)
+	}
+
+	fi, err := NewFull(FullConfig{
+		Partitions: partitions,
+		Shard:      index.Config{Dim: testDim, NLists: 8},
+		Seed:       1,
+	}, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, cb, err := fi.Build(f.queue)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(shards) != partitions || cb == nil {
+		t.Fatalf("built %d shards", len(shards))
+	}
+
+	find := func(url string) (int, bool) {
+		for p, s := range shards {
+			if s.HasURL(url) {
+				return p, true
+			}
+		}
+		return 0, false
+	}
+	// Images live on their hash partition.
+	for i := range f.cat.Products {
+		p := &f.cat.Products[i]
+		if p == stillGone {
+			continue
+		}
+		for _, url := range p.ImageURLs {
+			part, ok := find(url)
+			if !ok {
+				t.Fatalf("image %s missing from full index", url)
+			}
+			if want := int(mq.PartitionFor(url, partitions)); part != want {
+				t.Fatalf("image %s on partition %d, want %d", url, part, want)
+			}
+		}
+	}
+	// The still-deleted product is excluded ("only the valid images are
+	// used to create the full index").
+	for _, url := range stillGone.ImageURLs {
+		if _, ok := find(url); ok {
+			t.Fatalf("deleted product's image %s present in full index", url)
+		}
+	}
+	// The re-added product is present.
+	if _, ok := find(removed.ImageURLs[0]); !ok {
+		t.Fatal("re-added product missing from full index")
+	}
+	// The attribute update is folded in.
+	updated := &f.cat.Products[6]
+	part, _ := find(updated.ImageURLs[0])
+	ids := shards[part].ProductImages(updated.ID)
+	if len(ids) == 0 {
+		t.Fatal("updated product has no images on its partition")
+	}
+	a, _ := shards[part].Attrs(ids[0])
+	if a.Sales != 424242 {
+		t.Fatalf("full index lost the attr update: sales=%d", a.Sales)
+	}
+}
+
+func TestFullBuildEmptyLog(t *testing.T) {
+	f := newFixture(t, 2, 2)
+	fi, err := NewFull(FullConfig{
+		Partitions: 2,
+		Shard:      index.Config{Dim: testDim, NLists: 4},
+	}, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fi.Build(f.queue); err == nil {
+		t.Fatal("empty log built an index")
+	}
+}
+
+func TestNewFullValidation(t *testing.T) {
+	f := newFixture(t, 2, 1)
+	if _, err := NewFull(FullConfig{Partitions: 0, Shard: index.Config{Dim: 4, NLists: 2}}, f.res); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := NewFull(FullConfig{Partitions: 1}, f.res); err == nil {
+		t.Fatal("missing shard config accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	if s.Has("k") {
+		t.Fatal("empty store has key")
+	}
+	s.Put("k", []byte("v1"))
+	got, ok := s.Get("k")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Get = %q,%v", got, ok)
+	}
+	s.Put("k", []byte("v2")) // overwrite
+	got, _ = s.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("overwrite failed: %q", got)
+	}
+	if !s.Delete("k") {
+		t.Fatal("Delete reported missing")
+	}
+	if s.Delete("k") {
+		t.Fatal("double Delete reported present")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestCopyAtBoundaries(t *testing.T) {
+	s := NewStore()
+	v := []byte("hello")
+	s.Put("k", v)
+	v[0] = 'X' // caller mutates its buffer after Put
+	got, _ := s.Get("k")
+	if string(got) != "hello" {
+		t.Fatalf("Put aliased caller buffer: %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned buffer
+	again, _ := s.Get("k")
+	if string(again) != "hello" {
+		t.Fatalf("Get returned aliased internal buffer: %q", again)
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	s := NewStore()
+	if !s.PutIfAbsent("k", []byte("first")) {
+		t.Fatal("first PutIfAbsent failed")
+	}
+	if s.PutIfAbsent("k", []byte("second")) {
+		t.Fatal("second PutIfAbsent succeeded")
+	}
+	got, _ := s.Get("k")
+	if string(got) != "first" {
+		t.Fatalf("value = %q, want first", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := NewStore()
+	want := map[string]string{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		want[k] = fmt.Sprintf("val-%d", i)
+		s.Put(k, []byte(want[k]))
+	}
+	got := map[string]string{}
+	s.ForEach(func(k string, v []byte) bool {
+		got[k] = string(v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q: got %q want %q", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.ForEach(func(string, []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Property: the store agrees with a map model under arbitrary op sequences.
+func TestStoreMatchesModel(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value []byte
+	}
+	f := func(ops []op) bool {
+		s := NewStore()
+		model := map[string][]byte{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%32)
+			switch o.Kind % 3 {
+			case 0:
+				s.Put(k, o.Value)
+				model[k] = append([]byte(nil), o.Value...)
+			case 1:
+				s.Delete(k)
+				delete(model, k)
+			case 2:
+				got, ok := s.Get(k)
+				want, wok := model[k]
+				if ok != wok || string(got) != string(want) {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	s := NewStore()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i%50)
+				s.Put(k, []byte{byte(i)})
+				if v, ok := s.Get(k); !ok || len(v) != 1 {
+					t.Errorf("lost own write %q", k)
+					return
+				}
+				if i%3 == 0 {
+					s.Delete(k)
+				}
+				s.Has(fmt.Sprintf("w%d-k%d", (w+1)%workers, i%50))
+			}
+		}(w)
+	}
+	wg.Wait()
+}

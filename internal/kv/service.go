@@ -1,0 +1,209 @@
+package kv
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"jdvs/internal/rpc"
+)
+
+// The network face of the store: Fig. 2's feature-dedup check runs against
+// a *distributed* key-value store, so the store is servable over TCP. A
+// Service wraps a Store behind the shared RPC fabric; a RemoteStore is the
+// client. In-process deployments use the embedded Store directly — the
+// semantics are identical, errors aside (network clients surface transport
+// errors instead of hiding them).
+
+// RPC method identifiers for the KV service.
+const (
+	methodGet uint16 = 1
+	methodPut uint16 = 2
+	methodHas uint16 = 3
+	methodDel uint16 = 4
+	methodPIA uint16 = 5 // put-if-absent
+	methodLen uint16 = 6
+)
+
+// Service exposes a Store over TCP.
+type Service struct {
+	store *Store
+	srv   *rpc.Server
+}
+
+// NewService wraps store (which may be shared with in-process users).
+func NewService(store *Store) *Service {
+	s := &Service{store: store, srv: rpc.NewServer()}
+	s.srv.Handle(methodGet, s.handleGet)
+	s.srv.Handle(methodPut, s.handlePut)
+	s.srv.Handle(methodHas, s.handleHas)
+	s.srv.Handle(methodDel, s.handleDel)
+	s.srv.Handle(methodPIA, s.handlePIA)
+	s.srv.Handle(methodLen, s.handleLen)
+	return s
+}
+
+// Listen binds and serves; ":0" picks a port. Returns the bound address.
+func (s *Service) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+
+// Close stops serving.
+func (s *Service) Close() { s.srv.Close() }
+
+// wire format: key-value frames are [2B keyLen][key][value...]; key-only
+// frames are the raw key bytes.
+func packKV(key string, value []byte) ([]byte, error) {
+	if len(key) > 0xffff {
+		return nil, fmt.Errorf("kv: key too long (%d bytes)", len(key))
+	}
+	out := make([]byte, 2+len(key)+len(value))
+	binary.LittleEndian.PutUint16(out, uint16(len(key)))
+	copy(out[2:], key)
+	copy(out[2+len(key):], value)
+	return out, nil
+}
+
+func unpackKV(b []byte) (key string, value []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("kv: short frame")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, errors.New("kv: truncated key")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+func boolByte(v bool) []byte {
+	if v {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+func (s *Service) handleGet(payload []byte) ([]byte, error) {
+	v, ok := s.store.Get(string(payload))
+	if !ok {
+		return []byte{0}, nil
+	}
+	return append([]byte{1}, v...), nil
+}
+
+func (s *Service) handlePut(payload []byte) ([]byte, error) {
+	key, value, err := unpackKV(payload)
+	if err != nil {
+		return nil, err
+	}
+	s.store.Put(key, value)
+	return nil, nil
+}
+
+func (s *Service) handleHas(payload []byte) ([]byte, error) {
+	return boolByte(s.store.Has(string(payload))), nil
+}
+
+func (s *Service) handleDel(payload []byte) ([]byte, error) {
+	return boolByte(s.store.Delete(string(payload))), nil
+}
+
+func (s *Service) handlePIA(payload []byte) ([]byte, error) {
+	key, value, err := unpackKV(payload)
+	if err != nil {
+		return nil, err
+	}
+	return boolByte(s.store.PutIfAbsent(key, value)), nil
+}
+
+func (s *Service) handleLen([]byte) ([]byte, error) {
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], uint64(s.store.Len()))
+	return out[:], nil
+}
+
+// RemoteStore is a client to a Service. Methods mirror Store's, with
+// transport errors surfaced.
+type RemoteStore struct {
+	pool *rpc.Pool
+}
+
+// DialRemote connects n pooled connections (n<=0 defaults to 2).
+func DialRemote(addr string, n int) (*RemoteStore, error) {
+	if n <= 0 {
+		n = 2
+	}
+	pool, err := rpc.DialPool(addr, n)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	return &RemoteStore{pool: pool}, nil
+}
+
+// Close releases the connections.
+func (r *RemoteStore) Close() { r.pool.Close() }
+
+// Get fetches the value for key; ok is false when absent.
+func (r *RemoteStore) Get(ctx context.Context, key string) (value []byte, ok bool, err error) {
+	resp, err := r.pool.Call(ctx, methodGet, []byte(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp) < 1 || resp[0] == 0 {
+		return nil, false, nil
+	}
+	out := make([]byte, len(resp)-1)
+	copy(out, resp[1:])
+	return out, true, nil
+}
+
+// Put stores value under key.
+func (r *RemoteStore) Put(ctx context.Context, key string, value []byte) error {
+	frame, err := packKV(key, value)
+	if err != nil {
+		return err
+	}
+	_, err = r.pool.Call(ctx, methodPut, frame)
+	return err
+}
+
+// Has reports whether key exists.
+func (r *RemoteStore) Has(ctx context.Context, key string) (bool, error) {
+	resp, err := r.pool.Call(ctx, methodHas, []byte(key))
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// Delete removes key, reporting whether it existed.
+func (r *RemoteStore) Delete(ctx context.Context, key string) (bool, error) {
+	resp, err := r.pool.Call(ctx, methodDel, []byte(key))
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// PutIfAbsent stores value only if key is new, reporting whether it stored.
+func (r *RemoteStore) PutIfAbsent(ctx context.Context, key string, value []byte) (bool, error) {
+	frame, err := packKV(key, value)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.pool.Call(ctx, methodPIA, frame)
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// Len returns the number of keys.
+func (r *RemoteStore) Len(ctx context.Context) (int, error) {
+	resp, err := r.pool.Call(ctx, methodLen, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errors.New("kv: malformed len response")
+	}
+	return int(binary.LittleEndian.Uint64(resp)), nil
+}

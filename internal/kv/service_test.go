@@ -1,0 +1,159 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startService(t *testing.T) (*Store, *RemoteStore) {
+	t.Helper()
+	store := NewStore()
+	svc := NewService(store)
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	remote, err := DialRemote(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(remote.Close)
+	return store, remote
+}
+
+func TestRemotePutGetRoundtrip(t *testing.T) {
+	_, remote := startService(t)
+	ctx := context.Background()
+
+	if _, ok, err := remote.Get(ctx, "missing"); err != nil || ok {
+		t.Fatalf("get missing = %v, %v", ok, err)
+	}
+	if err := remote.Put(ctx, "k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := remote.Get(ctx, "k")
+	if err != nil || !ok || string(v) != "hello" {
+		t.Fatalf("get = %q,%v,%v", v, ok, err)
+	}
+	has, err := remote.Has(ctx, "k")
+	if err != nil || !has {
+		t.Fatalf("has = %v,%v", has, err)
+	}
+	n, err := remote.Len(ctx)
+	if err != nil || n != 1 {
+		t.Fatalf("len = %d,%v", n, err)
+	}
+	existed, err := remote.Delete(ctx, "k")
+	if err != nil || !existed {
+		t.Fatalf("delete = %v,%v", existed, err)
+	}
+	if has, _ := remote.Has(ctx, "k"); has {
+		t.Fatal("key survives delete")
+	}
+}
+
+func TestRemoteSharesStoreWithLocal(t *testing.T) {
+	store, remote := startService(t)
+	ctx := context.Background()
+	// Local write visible remotely and vice versa — the "distributed KV"
+	// is one store with two faces.
+	store.Put("local", []byte("a"))
+	if v, ok, _ := remote.Get(ctx, "local"); !ok || string(v) != "a" {
+		t.Fatalf("remote missed local write: %q %v", v, ok)
+	}
+	if err := remote.Put(ctx, "remote", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := store.Get("remote"); !ok || string(v) != "b" {
+		t.Fatalf("local missed remote write: %q %v", v, ok)
+	}
+}
+
+func TestRemotePutIfAbsent(t *testing.T) {
+	_, remote := startService(t)
+	ctx := context.Background()
+	stored, err := remote.PutIfAbsent(ctx, "k", []byte("first"))
+	if err != nil || !stored {
+		t.Fatalf("first PIA = %v,%v", stored, err)
+	}
+	stored, err = remote.PutIfAbsent(ctx, "k", []byte("second"))
+	if err != nil || stored {
+		t.Fatalf("second PIA = %v,%v", stored, err)
+	}
+	v, _, _ := remote.Get(ctx, "k")
+	if string(v) != "first" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestRemoteEmptyValueDistinctFromMissing(t *testing.T) {
+	_, remote := startService(t)
+	ctx := context.Background()
+	if err := remote.Put(ctx, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := remote.Get(ctx, "empty")
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty value: %q,%v,%v", v, ok, err)
+	}
+}
+
+func TestRemoteConcurrentClients(t *testing.T) {
+	store, remote := startService(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("w%d-%d", w, i)
+				if err := remote.Put(ctx, k, []byte{byte(w)}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, ok, err := remote.Get(ctx, k); err != nil || !ok {
+					t.Errorf("lost own write %s: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if store.Len() != 8*200 {
+		t.Fatalf("store has %d keys, want %d", store.Len(), 8*200)
+	}
+}
+
+func TestRemoteTransportErrorSurfaced(t *testing.T) {
+	store := NewStore()
+	svc := NewService(store)
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := DialRemote(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := remote.Put(ctx, "k", []byte("v")); err == nil {
+		t.Fatal("put to dead service succeeded")
+	}
+}
+
+func TestKeyTooLong(t *testing.T) {
+	_, remote := startService(t)
+	ctx := context.Background()
+	long := make([]byte, 1<<17)
+	if err := remote.Put(ctx, string(long), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}

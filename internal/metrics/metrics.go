@@ -1,0 +1,295 @@
+// Package metrics provides the measurement substrate for the evaluation:
+// lock-free latency histograms with percentile queries (Figs. 11(b), 12(b),
+// 13(b)), QPS counters (Figs. 12(a), 13(a)) and hourly time-series
+// aggregation (Fig. 11).
+//
+// Histograms are HDR-style: each power-of-two octave of nanoseconds is
+// split into 16 linear sub-buckets, giving ≈6% relative quantile error
+// across nanoseconds-to-minutes — ample for reproducing the paper's
+// latency shapes. Recording is a single atomic increment.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // 16 sub-buckets per octave
+	octaves    = 44           // covers up to ~4.8 hours in nanoseconds
+	nBuckets   = octaves * subBuckets
+)
+
+// Histogram is a concurrent latency histogram. The zero value is ready to
+// use.
+type Histogram struct {
+	buckets [nBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	maxNS   atomic.Uint64
+	minNS   atomic.Uint64 // offset by +1 so zero means "unset"
+}
+
+func bucketFor(ns uint64) int {
+	if ns < subBuckets {
+		return int(ns) // first octave is exact
+	}
+	oct := 63 - leadingZeros64(ns)
+	sub := (ns >> (uint(oct) - subBits)) & (subBuckets - 1)
+	idx := (oct-subBits+1)*subBuckets + int(sub)
+	if idx >= nBuckets {
+		return nBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the inclusive lower bound of bucket idx in nanoseconds.
+func bucketLow(idx int) uint64 {
+	if idx < subBuckets {
+		return uint64(idx)
+	}
+	oct := idx/subBuckets + subBits - 1
+	sub := uint64(idx % subBuckets)
+	return 1<<uint(oct) | sub<<(uint(oct)-subBits)
+}
+
+func leadingZeros64(x uint64) int { return bits.LeadingZeros64(x) }
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := h.minNS.Load()
+		if old != 0 && ns+1 >= old {
+			break
+		}
+		if h.minNS.CompareAndSwap(old, ns+1) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNS.Load()) }
+
+// Min returns the smallest observation (0 if none).
+func (h *Histogram) Min() time.Duration {
+	v := h.minNS.Load()
+	if v == 0 {
+		return 0
+	}
+	return time.Duration(v - 1)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) as the lower bound
+// of the bucket containing that rank.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(c)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < nBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds other's observations into h. (Used to combine per-worker
+// histograms after a run; not linearisable with concurrent Records, which
+// is fine for post-hoc aggregation.)
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < nBuckets; i++ {
+		if v := other.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if m := other.maxNS.Load(); m > h.maxNS.Load() {
+		h.maxNS.Store(m)
+	}
+	if m := other.minNS.Load(); m != 0 && (h.minNS.Load() == 0 || m < h.minNS.Load()) {
+		h.minNS.Store(m)
+	}
+}
+
+// Reset zeroes the histogram. Not safe concurrently with Record.
+func (h *Histogram) Reset() {
+	for i := 0; i < nBuckets; i++ {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.maxNS.Store(0)
+	h.minNS.Store(0)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64 // cumulative fraction of observations <= Latency
+}
+
+// CDF returns the empirical CDF with up to maxPoints points (bucket
+// resolution), suitable for regenerating Fig. 13(b).
+func (h *Histogram) CDF(maxPoints int) []CDFPoint {
+	total := h.count.Load()
+	if total == 0 {
+		return nil
+	}
+	pts := make([]CDFPoint, 0, 64)
+	var seen uint64
+	for i := 0; i < nBuckets; i++ {
+		v := h.buckets[i].Load()
+		if v == 0 {
+			continue
+		}
+		seen += v
+		pts = append(pts, CDFPoint{
+			Latency:  time.Duration(bucketLow(i)),
+			Fraction: float64(seen) / float64(total),
+		})
+	}
+	if maxPoints > 0 && len(pts) > maxPoints {
+		// Downsample evenly, always keeping the last point (fraction 1.0).
+		out := make([]CDFPoint, 0, maxPoints)
+		step := float64(len(pts)-1) / float64(maxPoints-1)
+		for i := 0; i < maxPoints; i++ {
+			out = append(out, pts[int(float64(i)*step+0.5)])
+		}
+		out[len(out)-1] = pts[len(pts)-1]
+		return out
+	}
+	return pts
+}
+
+// Counter is a concurrent event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one. Add adds delta. Value reads the total.
+func (c *Counter) Inc()               { c.n.Add(1) }
+func (c *Counter) Add(delta int64)    { c.n.Add(delta) }
+func (c *Counter) Value() int64       { return c.n.Load() }
+func (c *Counter) Reset()             { c.n.Store(0) }
+func (c *Counter) Swap(v int64) int64 { return c.n.Swap(v) }
+
+// HourlyKinds is the set of update kinds tracked per hour for Fig. 11(a).
+type HourlyKinds struct {
+	Updates   Counter
+	Additions Counter
+	Deletions Counter
+}
+
+// Total returns the sum across kinds.
+func (k *HourlyKinds) Total() int64 {
+	return k.Updates.Value() + k.Additions.Value() + k.Deletions.Value()
+}
+
+// HourlySeries aggregates per-hour counts and latency histograms over a
+// (simulated) 24-hour day — the exact structure of Figs. 11(a) and 11(b).
+type HourlySeries struct {
+	Kinds [24]HourlyKinds
+	Lat   [24]Histogram
+}
+
+// NewHourlySeries returns an empty series.
+func NewHourlySeries() *HourlySeries { return &HourlySeries{} }
+
+// RecordUpdate notes one real-time index event of the given kind at hour h
+// with processing latency d.
+func (s *HourlySeries) RecordUpdate(h int, kind string, d time.Duration) {
+	if h < 0 || h > 23 {
+		return
+	}
+	switch kind {
+	case "update":
+		s.Kinds[h].Updates.Inc()
+	case "addition":
+		s.Kinds[h].Additions.Inc()
+	case "deletion":
+		s.Kinds[h].Deletions.Inc()
+	}
+	s.Lat[h].Record(d)
+}
+
+// Table renders the series as aligned text rows (hour, counts by kind,
+// avg/p90/p99 latency), the textual equivalent of Fig. 11.
+func (s *HourlySeries) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s %12s %12s %12s\n",
+		"hour", "updates", "additions", "deletions", "total", "avg", "p90", "p99")
+	for h := 0; h < 24; h++ {
+		k := &s.Kinds[h]
+		if k.Total() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%02d:00  %12d %12d %12d %12d %12s %12s %12s\n",
+			h, k.Updates.Value(), k.Additions.Value(), k.Deletions.Value(), k.Total(),
+			s.Lat[h].Mean().Round(time.Microsecond),
+			s.Lat[h].Percentile(90).Round(time.Microsecond),
+			s.Lat[h].Percentile(99).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Quantiles computes exact quantiles from a raw sample (used where the full
+// sample is small enough to keep, e.g. per-setting response times in
+// Fig. 12(b)). The input is sorted in place.
+func Quantiles(samples []time.Duration, qs ...float64) []time.Duration {
+	if len(samples) == 0 {
+		return make([]time.Duration, len(qs))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		idx := int(math.Ceil(q/100*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		out[i] = samples[idx]
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package mq
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkProduce(b *testing.B) {
+	q := New()
+	if err := q.CreateTopic("t", 4); err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Produce("t", i&3, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProduceKeyed(b *testing.B) {
+	q := New()
+	if err := q.CreateTopic("t", 16); err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := q.ProduceKeyed("t", "jfs://img/p123/0.jpg", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProduceConsume measures the end-to-end hop a real-time update
+// takes through the queue.
+func BenchmarkProduceConsume(b *testing.B) {
+	q := New()
+	if err := q.CreateTopic("t", 1); err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	c, err := q.NewConsumer("t", 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Produce("t", 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		msgs, err := c.Poll(1, time.Second)
+		if err != nil || len(msgs) != 1 {
+			b.Fatalf("poll: %v %d", err, len(msgs))
+		}
+	}
+}

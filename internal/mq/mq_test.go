@@ -1,0 +1,276 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestQueue(t *testing.T, topic string, parts int) *Queue {
+	t.Helper()
+	q := New()
+	if err := q.CreateTopic(topic, parts); err != nil {
+		t.Fatalf("CreateTopic: %v", err)
+	}
+	t.Cleanup(q.Close)
+	return q
+}
+
+func TestCreateTopicValidation(t *testing.T) {
+	q := New()
+	defer q.Close()
+	if err := q.CreateTopic("t", 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if err := q.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CreateTopic("t", 3); err != nil {
+		t.Fatalf("idempotent recreation failed: %v", err)
+	}
+	if err := q.CreateTopic("t", 5); err == nil {
+		t.Fatal("partition resize accepted")
+	}
+	if q.Partitions("t") != 3 {
+		t.Fatalf("Partitions = %d", q.Partitions("t"))
+	}
+	if q.Partitions("missing") != 0 {
+		t.Fatal("missing topic has partitions")
+	}
+}
+
+func TestProduceConsumeOrder(t *testing.T) {
+	q := newTestQueue(t, "t", 1)
+	const n = 100
+	for i := 0; i < n; i++ {
+		off, err := q.Produce("t", 0, []byte(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatalf("Produce: %v", err)
+		}
+		if off != int64(i) {
+			t.Fatalf("offset %d, want %d", off, i)
+		}
+	}
+	c, err := q.NewConsumer("t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for len(got) < n {
+		msgs, err := c.Poll(7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			got = append(got, string(m.Payload))
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("consumed %d, want %d", len(got), n)
+	}
+	for i, s := range got {
+		if s != fmt.Sprintf("m%d", i) {
+			t.Fatalf("order violated at %d: %q", i, s)
+		}
+	}
+}
+
+func TestPayloadCopiedAtBoundary(t *testing.T) {
+	q := newTestQueue(t, "t", 1)
+	buf := []byte("original")
+	if _, err := q.Produce("t", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "MUTATED!")
+	c, _ := q.NewConsumer("t", 0, 0)
+	msgs, err := c.Poll(1, 0)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("poll: %v %v", msgs, err)
+	}
+	if string(msgs[0].Payload) != "original" {
+		t.Fatalf("payload aliased producer buffer: %q", msgs[0].Payload)
+	}
+}
+
+func TestUnknownTopicAndPartition(t *testing.T) {
+	q := newTestQueue(t, "t", 2)
+	if _, err := q.Produce("nope", 0, nil); err == nil {
+		t.Fatal("produce to unknown topic succeeded")
+	}
+	if _, err := q.Produce("t", 5, nil); err == nil {
+		t.Fatal("produce to unknown partition succeeded")
+	}
+	if _, err := q.NewConsumer("nope", 0, 0); err == nil {
+		t.Fatal("consumer on unknown topic succeeded")
+	}
+}
+
+func TestProduceKeyedStablePlacement(t *testing.T) {
+	q := newTestQueue(t, "t", 8)
+	p1, _, err := q.ProduceKeyed("t", "some-url", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := q.ProduceKeyed("t", "some-url", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("same key landed on partitions %d and %d", p1, p2)
+	}
+	if p1 != int(PartitionFor("some-url", 8)) {
+		t.Fatalf("placement disagrees with PartitionFor")
+	}
+}
+
+func TestPollBlocksUntilProduce(t *testing.T) {
+	q := newTestQueue(t, "t", 1)
+	c, _ := q.NewConsumer("t", 0, 0)
+	start := time.Now()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		_, _ = q.Produce("t", 0, []byte("late"))
+	}()
+	msgs, err := c.Poll(1, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Payload) != "late" {
+		t.Fatalf("poll returned %v", msgs)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("poll returned before the message was produced")
+	}
+}
+
+func TestPollTimeout(t *testing.T) {
+	q := newTestQueue(t, "t", 1)
+	c, _ := q.NewConsumer("t", 0, 0)
+	start := time.Now()
+	msgs, err := c.Poll(1, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs != nil {
+		t.Fatalf("timeout returned messages: %v", msgs)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("poll returned after %s, want ~50ms", el)
+	}
+}
+
+func TestCloseDrainsThenErrors(t *testing.T) {
+	q := New()
+	if err := q.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Produce("t", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if _, err := q.Produce("t", 0, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("produce after close: %v", err)
+	}
+	c, _ := q.NewConsumer("t", 0, 0)
+	msgs, err := c.Poll(10, 0)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("drain after close: %v %v", msgs, err)
+	}
+	if _, err := c.Poll(10, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-drain poll: %v", err)
+	}
+}
+
+func TestCloseWakesBlockedConsumer(t *testing.T) {
+	q := New()
+	if err := q.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := q.NewConsumer("t", 0, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Poll(1, time.Minute)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("woke with %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked consumer not woken by Close")
+	}
+}
+
+func TestReplayFromOffset(t *testing.T) {
+	q := newTestQueue(t, "t", 1)
+	for i := 0; i < 10; i++ {
+		if _, err := q.Produce("t", 0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := q.NewConsumer("t", 0, 7)
+	msgs, err := c.Poll(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 || msgs[0].Payload[0] != 7 {
+		t.Fatalf("replay from 7: %v", msgs)
+	}
+	// SeekTo rewinds.
+	c.SeekTo(0)
+	msgs, _ = c.Poll(100, 0)
+	if len(msgs) != 10 {
+		t.Fatalf("replay from 0 after SeekTo: %d msgs", len(msgs))
+	}
+	if c.Offset() != 10 {
+		t.Fatalf("Offset = %d, want 10", c.Offset())
+	}
+}
+
+func TestConcurrentProducersOneConsumer(t *testing.T) {
+	q := newTestQueue(t, "t", 1)
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := q.Produce("t", 0, []byte{byte(p)}); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	consumed := make(chan int, 1)
+	go func() {
+		c, _ := q.NewConsumer("t", 0, 0)
+		n := 0
+		for n < producers*per {
+			msgs, err := c.Poll(64, time.Second)
+			if err != nil || msgs == nil {
+				break
+			}
+			n += len(msgs)
+		}
+		consumed <- n
+	}()
+	wg.Wait()
+	select {
+	case n := <-consumed:
+		if n != producers*per {
+			t.Fatalf("consumed %d, want %d", n, producers*per)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer stalled")
+	}
+}

@@ -1,0 +1,224 @@
+package mq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Persistence for the message log: §2.2 buffers "all product update
+// messages of a day" and replays them during full indexing, so the log
+// must survive process boundaries (the offline indexer reads a saved log;
+// operations move logs between machines). The format is a sequential dump
+// of every topic, partition and message.
+//
+// Snapshots are taken under each partition's lock in turn, so a snapshot
+// of a quiescent queue is exact; with live producers it is a consistent
+// prefix per partition.
+
+const (
+	persistMagic   = "JDVSMQLG"
+	persistVersion = 1
+	// maxPersistStr bounds decoded names/payload sizes as corruption guards.
+	maxPersistName    = 1 << 12
+	maxPersistPayload = 64 << 20
+)
+
+// WriteTo serialises the queue's full contents.
+func (q *Queue) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	n, err := io.WriteString(w, persistMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	n, err = w.Write([]byte{persistVersion})
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	q.mu.RLock()
+	topics := make(map[string][]*partition, len(q.topics))
+	for name, ps := range q.topics {
+		topics[name] = ps
+	}
+	q.mu.RUnlock()
+
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(topics)))
+	n, err = w.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for name, ps := range topics {
+		k, err := writeString(w, name)
+		written += k
+		if err != nil {
+			return written, err
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(ps)))
+		n, err = w.Write(hdr[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		for _, p := range ps {
+			k, err := p.writeTo(w)
+			written += k
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+func (p *partition) writeTo(w io.Writer) (int64, error) {
+	p.mu.Lock()
+	msgs := make([]Message, len(p.msgs))
+	copy(msgs, p.msgs)
+	p.mu.Unlock()
+
+	var written int64
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(msgs)))
+	n, err := w.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, m := range msgs {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(m.Enqueued.UnixNano()))
+		n, err = w.Write(hdr[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(m.Payload)))
+		n, err = w.Write(lenBuf[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		n, err = w.Write(m.Payload)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadFrom restores a queue from a WriteTo stream into this queue, which
+// must be empty (fresh from New).
+func (q *Queue) ReadFrom(r io.Reader) (int64, error) {
+	var read int64
+	magic := make([]byte, len(persistMagic)+1)
+	n, err := io.ReadFull(r, magic)
+	read += int64(n)
+	if err != nil {
+		return read, fmt.Errorf("mq: log header: %w", err)
+	}
+	if string(magic[:len(persistMagic)]) != persistMagic {
+		return read, fmt.Errorf("mq: bad log magic %q", magic[:len(persistMagic)])
+	}
+	if magic[len(persistMagic)] != persistVersion {
+		return read, fmt.Errorf("mq: unsupported log version %d", magic[len(persistMagic)])
+	}
+	var hdr [8]byte
+	n, err = io.ReadFull(r, hdr[:4])
+	read += int64(n)
+	if err != nil {
+		return read, err
+	}
+	nTopics := int(binary.LittleEndian.Uint32(hdr[:4]))
+	for t := 0; t < nTopics; t++ {
+		name, k, err := readString(r)
+		read += k
+		if err != nil {
+			return read, err
+		}
+		n, err = io.ReadFull(r, hdr[:4])
+		read += int64(n)
+		if err != nil {
+			return read, err
+		}
+		nParts := int(binary.LittleEndian.Uint32(hdr[:4]))
+		if err := q.CreateTopic(name, nParts); err != nil {
+			return read, err
+		}
+		for part := 0; part < nParts; part++ {
+			n, err = io.ReadFull(r, hdr[:8])
+			read += int64(n)
+			if err != nil {
+				return read, err
+			}
+			count := binary.LittleEndian.Uint64(hdr[:8])
+			for m := uint64(0); m < count; m++ {
+				n, err = io.ReadFull(r, hdr[:8])
+				read += int64(n)
+				if err != nil {
+					return read, err
+				}
+				enq := time.Unix(0, int64(binary.LittleEndian.Uint64(hdr[:8])))
+				var lenBuf [4]byte
+				n, err = io.ReadFull(r, lenBuf[:])
+				read += int64(n)
+				if err != nil {
+					return read, err
+				}
+				size := int(binary.LittleEndian.Uint32(lenBuf[:]))
+				if size > maxPersistPayload {
+					return read, fmt.Errorf("mq: corrupt log: %d-byte payload", size)
+				}
+				payload := make([]byte, size)
+				n, err = io.ReadFull(r, payload)
+				read += int64(n)
+				if err != nil {
+					return read, err
+				}
+				p, err := q.partition(name, part)
+				if err != nil {
+					return read, err
+				}
+				if _, err := p.produce(payload, enq); err != nil {
+					return read, err
+				}
+			}
+		}
+	}
+	return read, nil
+}
+
+func writeString(w io.Writer, s string) (int64, error) {
+	var hdr [2]byte
+	if len(s) > maxPersistName {
+		return 0, fmt.Errorf("mq: name too long (%d bytes)", len(s))
+	}
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(s)))
+	n, err := w.Write(hdr[:])
+	if err != nil {
+		return int64(n), err
+	}
+	k, err := io.WriteString(w, s)
+	return int64(n + k), err
+}
+
+func readString(r io.Reader) (string, int64, error) {
+	var hdr [2]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		return "", int64(n), err
+	}
+	size := int(binary.LittleEndian.Uint16(hdr[:]))
+	if size > maxPersistName {
+		return "", int64(n), fmt.Errorf("mq: corrupt log: %d-byte name", size)
+	}
+	buf := make([]byte, size)
+	k, err := io.ReadFull(r, buf)
+	return string(buf), int64(n + k), err
+}

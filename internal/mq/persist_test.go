@@ -1,0 +1,207 @@
+package mq
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPersistRoundtrip(t *testing.T) {
+	q := New()
+	defer q.Close()
+	if err := q.CreateTopic("updates", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CreateTopic("audit", 1); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{} // "topic/part" → payloads in order
+	for i := 0; i < 500; i++ {
+		part := i % 3
+		payload := fmt.Sprintf("updates-%d", i)
+		if _, err := q.Produce("updates", part, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		key := fmt.Sprintf("updates/%d", part)
+		want[key] = append(want[key], payload)
+	}
+	if _, err := q.Produce("audit", 0, []byte("only-one")); err != nil {
+		t.Fatal(err)
+	}
+	want["audit/0"] = []string{"only-one"}
+
+	var buf bytes.Buffer
+	if _, err := q.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	restored := New()
+	defer restored.Close()
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if restored.Partitions("updates") != 3 || restored.Partitions("audit") != 1 {
+		t.Fatalf("topic shapes lost: %d/%d", restored.Partitions("updates"), restored.Partitions("audit"))
+	}
+	for key, payloads := range want {
+		var topic string
+		var part int
+		if _, err := fmt.Sscanf(key, "%s", &topic); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Sscanf(key, "updates/%d", &part)
+		if key == "audit/0" {
+			topic, part = "audit", 0
+		} else {
+			topic = "updates"
+		}
+		c, err := restored.NewConsumer(topic, part, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for {
+			msgs, err := c.Poll(1024, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				got = append(got, string(m.Payload))
+			}
+		}
+		if len(got) != len(payloads) {
+			t.Fatalf("%s: %d messages, want %d", key, len(got), len(payloads))
+		}
+		for i := range payloads {
+			if got[i] != payloads[i] {
+				t.Fatalf("%s message %d: %q, want %q", key, i, got[i], payloads[i])
+			}
+		}
+	}
+}
+
+func TestPersistEnqueueTimesSurvive(t *testing.T) {
+	q := New()
+	defer q.Close()
+	if err := q.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Produce("t", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := q.NewConsumer("t", 0, 0)
+	orig, err := c.Poll(1, 0)
+	if err != nil || len(orig) != 1 {
+		t.Fatal("produce/poll failed")
+	}
+
+	var buf bytes.Buffer
+	if _, err := q.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	defer restored.Close()
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := restored.NewConsumer("t", 0, 0)
+	got, err := rc.Poll(1, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatal("restored poll failed")
+	}
+	if !got[0].Enqueued.Equal(orig[0].Enqueued) {
+		t.Fatalf("enqueue time drifted: %v vs %v", got[0].Enqueued, orig[0].Enqueued)
+	}
+}
+
+func TestReadFromRejectsCorruption(t *testing.T) {
+	q := New()
+	defer q.Close()
+	if err := q.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := q.Produce("t", i%2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := q.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at many boundaries.
+	for _, cut := range []int{0, 4, 8, 9, buf.Len() / 2, buf.Len() - 1} {
+		fresh := New()
+		if _, err := fresh.ReadFrom(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncated log (%d bytes) accepted", cut)
+		}
+		fresh.Close()
+	}
+	// Bad magic.
+	bad := append([]byte("NOTALOG!!"), buf.Bytes()[9:]...)
+	fresh := New()
+	defer fresh.Close()
+	if _, err := fresh.ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+// Property: any set of payloads survives the roundtrip byte-for-byte.
+func TestPersistRoundtripProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		q := New()
+		defer q.Close()
+		if err := q.CreateTopic("t", 1); err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if len(p) > 4096 {
+				p = p[:4096]
+			}
+			if _, err := q.Produce("t", 0, p); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := q.WriteTo(&buf); err != nil {
+			return false
+		}
+		restored := New()
+		defer restored.Close()
+		if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			return false
+		}
+		c, err := restored.NewConsumer("t", 0, 0)
+		if err != nil {
+			return false
+		}
+		i := 0
+		for {
+			msgs, err := c.Poll(64, 0)
+			if err != nil {
+				return false
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				want := payloads[i]
+				if len(want) > 4096 {
+					want = want[:4096]
+				}
+				if !bytes.Equal(m.Payload, want) {
+					return false
+				}
+				i++
+			}
+		}
+		return i == len(payloads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package ranking implements the blender's final result ranking (§2.4):
+// after the nearest images come back from the brokers, "the similar
+// products are ranked according to their sales, praise, price and other
+// attributes".
+//
+// The score blends visual similarity with normalised business signals.
+// Weights are configurable; the defaults keep similarity dominant (a
+// visually wrong result is never rescued by sales volume) with business
+// attributes breaking ties among close matches — the behaviour visible in
+// the paper's Fig. 14 examples, where the same item in different shops is
+// ordered by attractiveness.
+package ranking
+
+import (
+	"math"
+	"sort"
+
+	"jdvs/internal/core"
+)
+
+// Weights configures the blended score.
+type Weights struct {
+	// Similarity weights the visual match, mapped as 1/(1+(dist/SimScale)²)
+	// — a kernel that stays discriminative at the small distances where
+	// near-duplicates live, so a markedly closer match cannot be buried by
+	// business signals.
+	Similarity float64
+	// SimScale is the distance at which similarity halves (default 0.2;
+	// unit-norm feature spaces put same-product photos well inside it).
+	SimScale float64
+	// Sales weights log-scaled sales volume.
+	Sales float64
+	// Praise weights the praise rate (0..100).
+	Praise float64
+	// Price penalises expensive items (log-scaled, relative to the most
+	// expensive candidate).
+	Price float64
+}
+
+// DefaultWeights keeps similarity dominant with business tiebreaks.
+func DefaultWeights() Weights {
+	return Weights{Similarity: 1.0, SimScale: 0.2, Sales: 0.08, Praise: 0.04, Price: 0.03}
+}
+
+// Ranker scores and orders hits. The zero value uses DefaultWeights.
+type Ranker struct {
+	w      Weights
+	filled bool
+}
+
+// New returns a Ranker with the given weights.
+func New(w Weights) *Ranker { return &Ranker{w: w, filled: true} }
+
+func (r *Ranker) weights() Weights {
+	if !r.filled {
+		return DefaultWeights()
+	}
+	return r.w
+}
+
+// Rank deduplicates hits by product (keeping each product's visually
+// closest image), scores them, and returns the top k ordered by descending
+// score. The input slice is not modified.
+func (r *Ranker) Rank(hits []core.Hit, k int) []core.Hit {
+	if len(hits) == 0 || k <= 0 {
+		return nil
+	}
+	// Dedup by product: a product with five near-identical photos should
+	// occupy one result slot, not five (Fig. 14 shows distinct products).
+	best := make(map[uint64]core.Hit, len(hits))
+	for _, h := range hits {
+		cur, ok := best[h.ProductID]
+		if !ok || h.Dist < cur.Dist {
+			best[h.ProductID] = h
+		}
+	}
+	out := make([]core.Hit, 0, len(best))
+	var maxSales uint32
+	var maxPrice uint32
+	for _, h := range best {
+		if h.Sales > maxSales {
+			maxSales = h.Sales
+		}
+		if h.PriceCents > maxPrice {
+			maxPrice = h.PriceCents
+		}
+		out = append(out, h)
+	}
+	w := r.weights()
+	if w.SimScale <= 0 {
+		w.SimScale = DefaultWeights().SimScale
+	}
+	logMaxSales := math.Log1p(float64(maxSales))
+	logMaxPrice := math.Log1p(float64(maxPrice))
+	for i := range out {
+		h := &out[i]
+		nd := float64(h.Dist) / w.SimScale
+		sim := 1 / (1 + nd*nd)
+		score := w.Similarity * sim
+		if logMaxSales > 0 {
+			score += w.Sales * math.Log1p(float64(h.Sales)) / logMaxSales
+		}
+		score += w.Praise * float64(h.Praise) / 100
+		if logMaxPrice > 0 {
+			score -= w.Price * math.Log1p(float64(h.PriceCents)) / logMaxPrice
+		}
+		h.Score = score
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		// Deterministic ordering for equal scores.
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ProductID < out[j].ProductID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

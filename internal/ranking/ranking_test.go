@@ -1,0 +1,140 @@
+package ranking
+
+import (
+	"testing"
+
+	"jdvs/internal/core"
+)
+
+func hit(pid uint64, dist float32, sales, praise, price uint32) core.Hit {
+	return core.Hit{ProductID: pid, Dist: dist, Sales: sales, Praise: praise, PriceCents: price}
+}
+
+func TestRankEmpty(t *testing.T) {
+	r := New(DefaultWeights())
+	if got := r.Rank(nil, 5); got != nil {
+		t.Fatalf("Rank(nil) = %v", got)
+	}
+	if got := r.Rank([]core.Hit{hit(1, 0, 0, 0, 0)}, 0); got != nil {
+		t.Fatalf("Rank(k=0) = %v", got)
+	}
+}
+
+func TestZeroValueRankerUsesDefaults(t *testing.T) {
+	var r Ranker
+	got := r.Rank([]core.Hit{hit(1, 0.1, 10, 50, 100)}, 5)
+	if len(got) != 1 || got[0].Score == 0 {
+		t.Fatalf("zero ranker output: %+v", got)
+	}
+}
+
+func TestDedupKeepsClosestImage(t *testing.T) {
+	r := New(DefaultWeights())
+	hits := []core.Hit{
+		hit(1, 0.9, 10, 50, 100),
+		hit(1, 0.1, 10, 50, 100), // same product, closer image
+		hit(2, 0.5, 10, 50, 100),
+	}
+	got := r.Rank(hits, 10)
+	if len(got) != 2 {
+		t.Fatalf("dedup failed: %+v", got)
+	}
+	for _, h := range got {
+		if h.ProductID == 1 && h.Dist != 0.1 {
+			t.Fatalf("kept the farther image: %+v", h)
+		}
+	}
+}
+
+func TestSimilarityDominates(t *testing.T) {
+	r := New(DefaultWeights())
+	// A visually wrong match with stellar business metrics must not beat a
+	// visually close match with poor metrics.
+	hits := []core.Hit{
+		hit(1, 0.05, 0, 0, 1),            // close, no sales
+		hit(2, 2.0, 1_000_000, 100, 100), // far, blockbuster
+	}
+	got := r.Rank(hits, 2)
+	if got[0].ProductID != 1 {
+		t.Fatalf("business metrics overrode similarity: %+v", got)
+	}
+}
+
+func TestBusinessTiebreak(t *testing.T) {
+	r := New(DefaultWeights())
+	// Visually identical: sales/praise break the tie.
+	hits := []core.Hit{
+		hit(1, 0.3, 5, 10, 5000),
+		hit(2, 0.3, 50_000, 98, 5000),
+	}
+	got := r.Rank(hits, 2)
+	if got[0].ProductID != 2 {
+		t.Fatalf("tiebreak ignored business attributes: %+v", got)
+	}
+}
+
+func TestPricePenalty(t *testing.T) {
+	r := New(Weights{Similarity: 1, Price: 0.5})
+	hits := []core.Hit{
+		hit(1, 0.3, 0, 0, 1_000_000), // expensive
+		hit(2, 0.3, 0, 0, 100),       // cheap
+	}
+	got := r.Rank(hits, 2)
+	if got[0].ProductID != 2 {
+		t.Fatalf("price penalty not applied: %+v", got)
+	}
+}
+
+func TestTruncationToK(t *testing.T) {
+	r := New(DefaultWeights())
+	var hits []core.Hit
+	for i := 0; i < 30; i++ {
+		hits = append(hits, hit(uint64(i+1), float32(i)*0.1, 0, 0, 100))
+	}
+	got := r.Rank(hits, 6)
+	if len(got) != 6 {
+		t.Fatalf("len = %d, want 6", len(got))
+	}
+}
+
+func TestScoresMonotoneInOutput(t *testing.T) {
+	r := New(DefaultWeights())
+	var hits []core.Hit
+	for i := 0; i < 20; i++ {
+		hits = append(hits, hit(uint64(i+1), float32(i%7)*0.2, uint32(i*100), uint32(i%101), uint32(100+i)))
+	}
+	got := r.Rank(hits, 20)
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("scores not descending at %d: %v > %v", i, got[i].Score, got[i-1].Score)
+		}
+	}
+}
+
+func TestDeterministicOrderOnTies(t *testing.T) {
+	r := New(DefaultWeights())
+	hits := []core.Hit{
+		hit(3, 0.5, 10, 10, 10),
+		hit(1, 0.5, 10, 10, 10),
+		hit(2, 0.5, 10, 10, 10),
+	}
+	a := r.Rank(append([]core.Hit(nil), hits...), 3)
+	b := r.Rank([]core.Hit{hits[2], hits[0], hits[1]}, 3)
+	for i := range a {
+		if a[i].ProductID != b[i].ProductID {
+			t.Fatalf("tie order input-dependent: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	r := New(DefaultWeights())
+	hits := []core.Hit{hit(2, 0.9, 1, 1, 1), hit(1, 0.1, 1, 1, 1)}
+	_ = r.Rank(hits, 2)
+	if hits[0].ProductID != 2 || hits[1].ProductID != 1 {
+		t.Fatalf("input reordered: %+v", hits)
+	}
+	if hits[0].Score != 0 {
+		t.Fatalf("input scores mutated: %+v", hits)
+	}
+}

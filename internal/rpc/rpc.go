@@ -1,0 +1,411 @@
+// Package rpc is the wire substrate connecting the search tiers of Fig. 10
+// (frontend → blender → broker → searcher) and the KV/feature services: a
+// minimal multiplexed request/response protocol over TCP built only on the
+// standard library.
+//
+// Frame layout (little endian):
+//
+//	request:  [4B frameLen][8B requestID][2B method][payload...]
+//	response: [4B frameLen][8B requestID][1B status][payload or error text]
+//
+// frameLen counts the bytes after the length word. Requests multiplex
+// freely over one connection: a client issues concurrent calls and matches
+// responses by request ID, so a single searcher connection sustains the
+// fan-out concurrency the three-level architecture needs without a
+// connection per in-flight query.
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// MaxFrame bounds a frame to guard against corrupt length words.
+	MaxFrame = 64 << 20
+
+	statusOK  = 0
+	statusErr = 1
+
+	reqHeader  = 8 + 2
+	respHeader = 8 + 1
+)
+
+var (
+	// ErrClosed is returned by calls on a closed client or server.
+	ErrClosed = errors.New("rpc: connection closed")
+	// ErrFrameTooLarge is returned when a frame exceeds MaxFrame.
+	ErrFrameTooLarge = errors.New("rpc: frame too large")
+)
+
+// RemoteError is an error string propagated from a handler to the caller.
+type RemoteError struct {
+	Method uint16
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error (method %d): %s", e.Method, e.Msg)
+}
+
+// Handler processes one request payload and returns a response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server dispatches incoming requests to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[uint16]Handler
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[uint16]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers h for method. It must be called before Serve.
+func (s *Server) Handle(method uint16, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen binds to addr ("host:port"; ":0" picks a free port) and starts
+// serving in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = lis.Close()
+		return "", ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(lis)
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(frame) < reqHeader {
+			return // malformed: drop the connection
+		}
+		reqID := binary.LittleEndian.Uint64(frame[0:8])
+		method := binary.LittleEndian.Uint16(frame[8:10])
+		payload := frame[reqHeader:]
+		s.mu.Lock()
+		h := s.handlers[method]
+		s.mu.Unlock()
+		handlerWG.Add(1)
+		go func() {
+			defer handlerWG.Done()
+			var resp []byte
+			var herr error
+			if h == nil {
+				herr = fmt.Errorf("unknown method %d", method)
+			} else {
+				resp, herr = h(payload)
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if herr != nil {
+				_ = writeResponse(conn, reqID, statusErr, []byte(herr.Error()))
+				return
+			}
+			_ = writeResponse(conn, reqID, statusOK, resp)
+		}()
+	}
+}
+
+// Addr returns the server's bound address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops accepting, closes all connections and waits for in-flight
+// handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.lis != nil {
+		_ = s.lis.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func writeResponse(w io.Writer, reqID uint64, status byte, payload []byte) error {
+	hdr := make([]byte, 4+respHeader)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(respHeader+len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], reqID)
+	hdr[12] = status
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Client is a multiplexed connection to one server. It is safe for
+// concurrent use.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	closed  bool
+	err     error
+
+	nextID atomic.Uint64
+	done   chan struct{}
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// Dial connects to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan result),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	var readErr error
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			readErr = err
+			break
+		}
+		if len(frame) < respHeader {
+			readErr = errors.New("rpc: malformed response frame")
+			break
+		}
+		reqID := binary.LittleEndian.Uint64(frame[0:8])
+		status := frame[8]
+		payload := frame[respHeader:]
+		c.mu.Lock()
+		ch, ok := c.pending[reqID]
+		if ok {
+			delete(c.pending, reqID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // caller gave up (context cancelled)
+		}
+		if status == statusOK {
+			ch <- result{payload: payload}
+		} else {
+			ch <- result{err: &RemoteError{Msg: string(payload)}}
+		}
+	}
+	c.failAll(readErr)
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if err == nil {
+		err = ErrClosed
+	}
+	c.err = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- result{err: fmt.Errorf("%w (%v)", ErrClosed, err)}
+	}
+	close(c.done)
+	_ = c.conn.Close()
+}
+
+// Call sends a request and waits for its response or ctx cancellation.
+func (c *Client) Call(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan result, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame := make([]byte, 4+reqHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(reqHeader+len(payload)))
+	binary.LittleEndian.PutUint64(frame[4:12], id)
+	binary.LittleEndian.PutUint16(frame[12:14], method)
+	copy(frame[4+reqHeader:], payload)
+
+	c.writeMu.Lock()
+	_, werr := c.conn.Write(frame)
+	c.writeMu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.failAll(werr)
+		return nil, fmt.Errorf("rpc: write: %w", werr)
+	}
+
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			if re, ok := r.err.(*RemoteError); ok {
+				re.Method = method
+			}
+			return nil, r.err
+		}
+		return r.payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Close tears the connection down; outstanding calls fail with ErrClosed.
+func (c *Client) Close() {
+	c.failAll(ErrClosed)
+}
+
+// Pool is a fixed-size set of clients to one address, dealt out
+// round-robin. Searcher fan-in traffic is heavily concurrent; a small pool
+// avoids head-of-line blocking on one TCP connection's write path.
+type Pool struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// DialPool opens n connections to addr.
+func DialPool(addr string, n int) (*Pool, error) {
+	if n <= 0 {
+		n = 1
+	}
+	p := &Pool{clients: make([]*Client, 0, n)}
+	for i := 0; i < n; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Call issues the request on the next connection in round-robin order.
+func (p *Pool) Call(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+	c := p.clients[p.next.Add(1)%uint64(len(p.clients))]
+	return c.Call(ctx, method, payload)
+}
+
+// Close closes every connection in the pool.
+func (p *Pool) Close() {
+	for _, c := range p.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

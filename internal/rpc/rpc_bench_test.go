@@ -1,0 +1,82 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+)
+
+func benchServer(b *testing.B) string {
+	b.Helper()
+	s := NewServer()
+	s.Handle(1, func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return addr
+}
+
+// BenchmarkCallSequential measures single-connection round-trip latency.
+func BenchmarkCallSequential(b *testing.B) {
+	addr := benchServer(b)
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 256)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(ctx, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCallConcurrent measures multiplexed throughput on one
+// connection — the searcher fan-in pattern.
+func BenchmarkCallConcurrent(b *testing.B) {
+	addr := benchServer(b)
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 256)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Call(ctx, 1, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkCallPooled measures the pooled client used between tiers.
+func BenchmarkCallPooled(b *testing.B) {
+	addr := benchServer(b)
+	p, err := DialPool(addr, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	payload := make([]byte, 256)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Call(ctx, 1, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package broker implements the middle tier of Fig. 10: "a broker forwards
+// the query to all the searchers it connects to and collects the partial
+// search results from each searcher".
+//
+// A broker is assigned a subset of the index partitions; for each partition
+// it knows every replica's address and spreads queries across replicas
+// round-robin, failing over to the next replica when one is down — the
+// "multiple copies for availability" of §2.4.
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jdvs/internal/core"
+	"jdvs/internal/metrics"
+	"jdvs/internal/rpc"
+	"jdvs/internal/search"
+)
+
+// Config assembles a broker.
+type Config struct {
+	// PartitionReplicas maps each assigned partition to its replicas'
+	// searcher addresses: PartitionReplicas[i] is the replica set of the
+	// i-th partition this broker serves. Required, non-empty.
+	PartitionReplicas [][]string
+	// ConnsPerSearcher sizes each searcher connection pool (default 2).
+	ConnsPerSearcher int
+	// SearcherTimeout bounds each searcher attempt (default 5s); on
+	// timeout the broker fails over to the partition's next replica, so a
+	// hung searcher degrades one replica, not the query.
+	SearcherTimeout time.Duration
+	// Addr is the listen address (":0" for ephemeral).
+	Addr string
+}
+
+type partitionGroup struct {
+	addrs   []string
+	pools   []*rpc.Pool
+	next    atomic.Uint64
+	timeout time.Duration
+}
+
+// Broker is a running broker node.
+type Broker struct {
+	srv    *rpc.Server
+	groups []*partitionGroup
+	addr   string
+
+	queries  metrics.Counter
+	failures metrics.Counter
+}
+
+// New connects to every assigned searcher and starts serving.
+func New(cfg Config) (*Broker, error) {
+	if len(cfg.PartitionReplicas) == 0 {
+		return nil, errors.New("broker: no partitions assigned")
+	}
+	if cfg.ConnsPerSearcher <= 0 {
+		cfg.ConnsPerSearcher = 2
+	}
+	if cfg.SearcherTimeout <= 0 {
+		cfg.SearcherTimeout = 5 * time.Second
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	b := &Broker{groups: make([]*partitionGroup, 0, len(cfg.PartitionReplicas))}
+	for _, replicas := range cfg.PartitionReplicas {
+		if len(replicas) == 0 {
+			b.closePools()
+			return nil, errors.New("broker: partition with no replicas")
+		}
+		g := &partitionGroup{addrs: replicas, timeout: cfg.SearcherTimeout}
+		for _, addr := range replicas {
+			pool, err := rpc.DialPool(addr, cfg.ConnsPerSearcher)
+			if err != nil {
+				b.closePools()
+				return nil, fmt.Errorf("broker: dial searcher %s: %w", addr, err)
+			}
+			g.pools = append(g.pools, pool)
+		}
+		b.groups = append(b.groups, g)
+	}
+	b.srv = rpc.NewServer()
+	b.srv.Handle(search.MethodSearch, b.handleSearch)
+	b.srv.Handle(search.MethodStats, b.handleStats)
+	b.srv.Handle(search.MethodPing, func([]byte) ([]byte, error) { return nil, nil })
+	addr, err := b.srv.Listen(cfg.Addr)
+	if err != nil {
+		b.closePools()
+		return nil, err
+	}
+	b.addr = addr
+	return b, nil
+}
+
+// Addr returns the broker's RPC address.
+func (b *Broker) Addr() string { return b.addr }
+
+// Close stops serving and closes searcher connections.
+func (b *Broker) Close() {
+	b.srv.Close()
+	b.closePools()
+}
+
+func (b *Broker) closePools() {
+	for _, g := range b.groups {
+		for _, p := range g.pools {
+			p.Close()
+		}
+	}
+}
+
+// call queries one partition, trying each replica at most once starting
+// from the round-robin cursor. Each attempt gets its own timeout so a hung
+// replica costs one timeout, not the query.
+func (g *partitionGroup) call(ctx context.Context, payload []byte) ([]byte, error) {
+	n := len(g.pools)
+	start := int(g.next.Add(1))
+	var lastErr error
+	for i := 0; i < n; i++ {
+		pool := g.pools[(start+i)%n]
+		attemptCtx, cancel := context.WithTimeout(ctx, g.timeout)
+		resp, err := pool.Call(attemptCtx, search.MethodSearch, payload)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+func (b *Broker) handleSearch(payload []byte) ([]byte, error) {
+	b.queries.Inc()
+	// Validate the request before fanning out garbage.
+	req, err := core.DecodeSearchRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	type partial struct {
+		resp *core.SearchResponse
+		err  error
+	}
+	results := make([]partial, len(b.groups))
+	var wg sync.WaitGroup
+	for i, g := range b.groups {
+		wg.Add(1)
+		go func(i int, g *partitionGroup) {
+			defer wg.Done()
+			raw, err := g.call(ctx, payload)
+			if err != nil {
+				results[i] = partial{err: err}
+				return
+			}
+			resp, err := core.DecodeSearchResponse(raw)
+			results[i] = partial{resp: resp, err: err}
+		}(i, g)
+	}
+	wg.Wait()
+
+	merged := &core.SearchResponse{}
+	okCount := 0
+	var lastErr error
+	for _, r := range results {
+		if r.err != nil {
+			lastErr = r.err
+			b.failures.Inc()
+			continue
+		}
+		okCount++
+		merged.Hits = append(merged.Hits, r.resp.Hits...)
+		merged.Scanned += r.resp.Scanned
+		merged.Probed += r.resp.Probed
+	}
+	if okCount == 0 {
+		return nil, fmt.Errorf("broker: all partitions failed: %w", lastErr)
+	}
+	// Keep the k best across partitions; the blender re-ranks globally.
+	sort.Slice(merged.Hits, func(i, j int) bool {
+		if merged.Hits[i].Dist != merged.Hits[j].Dist {
+			return merged.Hits[i].Dist < merged.Hits[j].Dist
+		}
+		return merged.Hits[i].Image.Pack() < merged.Hits[j].Image.Pack()
+	})
+	if req.TopK > 0 && len(merged.Hits) > req.TopK {
+		merged.Hits = merged.Hits[:req.TopK]
+	}
+	return core.EncodeSearchResponse(merged), nil
+}
+
+// Stats is the broker's stats payload.
+type Stats struct {
+	Partitions int   `json:"partitions"`
+	Queries    int64 `json:"queries"`
+	Failures   int64 `json:"failures"`
+}
+
+func (b *Broker) handleStats([]byte) ([]byte, error) {
+	return json.Marshal(Stats{
+		Partitions: len(b.groups),
+		Queries:    b.queries.Value(),
+		Failures:   b.failures.Value(),
+	})
+}

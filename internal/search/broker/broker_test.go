@@ -1,0 +1,293 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cnn"
+	"jdvs/internal/core"
+	"jdvs/internal/featuredb"
+	"jdvs/internal/imagestore"
+	"jdvs/internal/index"
+	"jdvs/internal/indexer"
+	"jdvs/internal/rpc"
+	"jdvs/internal/search"
+	"jdvs/internal/search/searcher"
+)
+
+const testDim = 16
+
+// twoPartitionFixture builds two searcher partitions (optionally with a
+// replica each) holding disjoint product sets.
+type twoPartitionFixture struct {
+	cat       *catalog.Catalog
+	feats     map[string][]float32
+	searchers [][]*searcher.Searcher // [partition][replica]
+}
+
+func newTwoPartitions(t *testing.T, replicas int) *twoPartitionFixture {
+	t.Helper()
+	f := &twoPartitionFixture{feats: make(map[string][]float32)}
+	images := imagestore.New()
+	cat, err := catalog.Generate(catalog.Config{Products: 40, Categories: 4, Seed: 23}, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.cat = cat
+	res := &indexer.Resolver{
+		DB:        featuredb.New(),
+		Images:    images,
+		Extractor: cnn.New(cnn.Config{Dim: testDim, Seed: 9}),
+	}
+	var train []float32
+	for i := range cat.Products {
+		p := &cat.Products[i]
+		for _, url := range p.ImageURLs {
+			e, _, err := res.Resolve(url, p.Attrs(url))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.feats[url] = e.Feature
+			train = append(train, e.Feature...)
+		}
+	}
+	newShard := func(part int) *index.Shard {
+		s, err := index.New(index.Config{Dim: testDim, NLists: 8, DefaultNProbe: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Train(train, 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := range cat.Products {
+			p := &cat.Products[i]
+			if int(p.ID)%2 != part { // split products across partitions
+				continue
+			}
+			for _, url := range p.ImageURLs {
+				if _, _, err := s.Insert(p.Attrs(url), f.feats[url]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return s
+	}
+	for part := 0; part < 2; part++ {
+		var group []*searcher.Searcher
+		for r := 0; r < replicas; r++ {
+			node, err := searcher.New(searcher.Config{
+				Partition: core.PartitionID(part),
+				Shard:     newShard(part),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			group = append(group, node)
+		}
+		f.searchers = append(f.searchers, group)
+	}
+	t.Cleanup(func() {
+		for _, group := range f.searchers {
+			for _, s := range group {
+				s.Close()
+			}
+		}
+	})
+	return f
+}
+
+func (f *twoPartitionFixture) groups() [][]string {
+	out := make([][]string, len(f.searchers))
+	for p, group := range f.searchers {
+		for _, s := range group {
+			out[p] = append(out[p], s.Addr())
+		}
+	}
+	return out
+}
+
+func callBroker(t *testing.T, addr string, req *core.SearchRequest) (*core.SearchResponse, error) {
+	t.Helper()
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.Call(context.Background(), search.MethodSearch, core.EncodeSearchRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeSearchResponse(raw)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+	if _, err := New(Config{PartitionReplicas: [][]string{{}}}); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := New(Config{PartitionReplicas: [][]string{{"127.0.0.1:1"}}}); err == nil {
+		t.Fatal("dial to dead searcher succeeded")
+	}
+}
+
+func TestFanOutMergesAcrossPartitions(t *testing.T) {
+	f := newTwoPartitions(t, 1)
+	b, err := New(Config{PartitionReplicas: f.groups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Query for a product on each partition: both must be reachable through
+	// the one broker.
+	for part := 0; part < 2; part++ {
+		var target *catalog.Product
+		for i := range f.cat.Products {
+			if int(f.cat.Products[i].ID)%2 == part {
+				target = &f.cat.Products[i]
+				break
+			}
+		}
+		url := target.ImageURLs[0]
+		resp, err := callBroker(t, b.Addr(), &core.SearchRequest{
+			Feature: f.feats[url], TopK: 3, NProbe: 8, Category: -1,
+		})
+		if err != nil {
+			t.Fatalf("broker search: %v", err)
+		}
+		if len(resp.Hits) == 0 || resp.Hits[0].ProductID != target.ID {
+			t.Fatalf("partition %d product not found via broker: %+v", part, resp.Hits)
+		}
+		if resp.Hits[0].Image.Partition != core.PartitionID(part) {
+			t.Fatalf("hit partition = %d, want %d", resp.Hits[0].Image.Partition, part)
+		}
+	}
+}
+
+func TestMergeOrderedAndTruncated(t *testing.T) {
+	f := newTwoPartitions(t, 1)
+	b, err := New(Config{PartitionReplicas: f.groups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rng := rand.New(rand.NewSource(1))
+	q := make([]float32, testDim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	resp, err := callBroker(t, b.Addr(), &core.SearchRequest{Feature: q, TopK: 7, NProbe: 8, Category: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 7 {
+		t.Fatalf("merged %d hits, want 7", len(resp.Hits))
+	}
+	for i := 1; i < len(resp.Hits); i++ {
+		if resp.Hits[i].Dist < resp.Hits[i-1].Dist {
+			t.Fatalf("merged hits not sorted by distance: %+v", resp.Hits)
+		}
+	}
+	// Scan diagnostics aggregate across partitions.
+	if resp.Probed < 2 {
+		t.Fatalf("probed = %d, want >= 2", resp.Probed)
+	}
+}
+
+// TestReplicaFailover kills one replica; queries must keep succeeding via
+// the survivor ("each partition can have multiple copies for
+// availability").
+func TestReplicaFailover(t *testing.T) {
+	f := newTwoPartitions(t, 2)
+	b, err := New(Config{PartitionReplicas: f.groups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	url := f.cat.Products[0].ImageURLs[0]
+	req := &core.SearchRequest{Feature: f.feats[url], TopK: 3, NProbe: 8, Category: -1}
+
+	// Kill replica 0 of partition 0.
+	f.searchers[0][0].Close()
+	for i := 0; i < 10; i++ {
+		resp, err := callBroker(t, b.Addr(), req)
+		if err != nil {
+			t.Fatalf("query %d failed after replica death: %v", i, err)
+		}
+		if len(resp.Hits) == 0 {
+			t.Fatalf("query %d degraded after replica death", i)
+		}
+	}
+}
+
+// TestAllReplicasDeadDegradesGracefully: losing a whole partition degrades
+// results; losing everything errors.
+func TestPartitionLossDegradation(t *testing.T) {
+	f := newTwoPartitions(t, 1)
+	b, err := New(Config{PartitionReplicas: f.groups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rng := rand.New(rand.NewSource(2))
+	q := make([]float32, testDim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	req := &core.SearchRequest{Feature: q, TopK: 50, NProbe: 8, Category: -1}
+
+	f.searchers[0][0].Close() // partition 0 gone entirely
+	resp, err := callBroker(t, b.Addr(), req)
+	if err != nil {
+		t.Fatalf("partial partition loss failed the query: %v", err)
+	}
+	for _, h := range resp.Hits {
+		if h.Image.Partition == 0 {
+			t.Fatalf("hit from dead partition: %+v", h)
+		}
+	}
+
+	f.searchers[1][0].Close() // all partitions gone
+	if _, err := callBroker(t, b.Addr(), req); err == nil {
+		t.Fatal("query succeeded with every searcher dead")
+	}
+	// Failure counter advanced.
+	c, err := rpc.Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.Call(context.Background(), search.MethodStats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Failures == 0 {
+		t.Fatalf("stats = %+v, want failures > 0", st)
+	}
+}
+
+func TestBadRequestRejected(t *testing.T) {
+	f := newTwoPartitions(t, 1)
+	b, err := New(Config{PartitionReplicas: f.groups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := rpc.Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(context.Background(), search.MethodSearch, []byte("garbage")); err == nil {
+		t.Fatal("garbage request fanned out")
+	}
+}

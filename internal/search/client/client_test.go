@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jdvs/internal/core"
+	"jdvs/internal/rpc"
+	"jdvs/internal/search"
+)
+
+// fakeFrontend answers the client-facing protocol with canned responses.
+func fakeFrontend(t *testing.T) string {
+	t.Helper()
+	srv := rpc.NewServer()
+	srv.Handle(search.MethodQuery, func(p []byte) ([]byte, error) {
+		if _, err := core.DecodeQueryRequest(p); err != nil {
+			return nil, err
+		}
+		return core.EncodeSearchResponse(&core.SearchResponse{
+			Hits: []core.Hit{{ProductID: 7, Dist: 0.5, URL: "jfs://x.jpg", Score: 0.9}},
+		}), nil
+	})
+	srv.Handle(search.MethodSearch, func(p []byte) ([]byte, error) {
+		req, err := core.DecodeSearchRequest(p)
+		if err != nil {
+			return nil, err
+		}
+		return core.EncodeSearchResponse(&core.SearchResponse{Probed: req.NProbe}), nil
+	})
+	srv.Handle(search.MethodPing, func([]byte) ([]byte, error) { return nil, nil })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr
+}
+
+func TestDialDefaultsAndFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 0); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	c, err := Dial(fakeFrontend(t), 0) // n<=0 defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+}
+
+func TestQueryRoundtrip(t *testing.T) {
+	c, err := Dial(fakeFrontend(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	resp, err := c.Query(ctx, &core.QueryRequest{ImageBlob: []byte{1, 2, 3}, TopK: 5, CategoryScope: core.AllCategories})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(resp.Hits) != 1 || resp.Hits[0].ProductID != 7 {
+		t.Fatalf("hits = %+v", resp.Hits)
+	}
+}
+
+func TestSearchFeatureRoundtrip(t *testing.T) {
+	c, err := Dial(fakeFrontend(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	resp, err := c.SearchFeature(ctx, &core.SearchRequest{Feature: []float32{1, 2}, TopK: 3, NProbe: 9, Category: -1})
+	if err != nil {
+		t.Fatalf("SearchFeature: %v", err)
+	}
+	if resp.Probed != 9 {
+		t.Fatalf("request did not round-trip: %+v", resp)
+	}
+}
+
+func TestClosedClientFailsFast(t *testing.T) {
+	c, err := Dial(fakeFrontend(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	ctx := context.Background()
+	if err := c.Ping(ctx); err == nil {
+		t.Fatal("ping succeeded on closed client")
+	}
+	if _, err := c.Query(ctx, &core.QueryRequest{ImageBlob: []byte{1}, TopK: 1}); err == nil {
+		t.Fatal("query succeeded on closed client")
+	}
+}

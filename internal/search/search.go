@@ -1,0 +1,27 @@
+// Package search defines the wire contract shared by the three tiers of
+// the online search architecture (Fig. 10): RPC method identifiers and the
+// cross-tier stats payload. The tiers themselves live in the subpackages
+// searcher, broker, blender and frontend; client provides the caller-side
+// API.
+package search
+
+// RPC method identifiers. A method's request/response payloads are the
+// core codecs noted beside it.
+const (
+	// MethodSearch: core.SearchRequest → core.SearchResponse. Served by
+	// searchers (single-partition scan), brokers (fan-out to their searcher
+	// subset) and blenders (feature-direct global search).
+	MethodSearch uint16 = 1
+	// MethodQuery: core.QueryRequest → core.SearchResponse. Served by
+	// blenders (image in, ranked products out) and the frontend (load
+	// balancing proxy).
+	MethodQuery uint16 = 2
+	// MethodStats: empty → JSON stats blob. Served by all tiers.
+	MethodStats uint16 = 3
+	// MethodPing: empty → empty. Liveness probe.
+	MethodPing uint16 = 4
+	// MethodLoadIndex: shard snapshot bytes → empty. Served by searchers:
+	// the weekly full indexing pushes fresh partition indexes to the fleet
+	// and each searcher hot-swaps with zero downtime (§2.2).
+	MethodLoadIndex uint16 = 5
+)

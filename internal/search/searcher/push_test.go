@@ -1,0 +1,118 @@
+package searcher
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"jdvs/internal/core"
+	"jdvs/internal/index"
+	"jdvs/internal/rpc"
+	"jdvs/internal/search"
+)
+
+// TestPushSnapshotSwapsIndex covers the distribution step of the weekly
+// full indexing cycle: a freshly built shard is pushed to a running
+// searcher over the network and served with zero downtime.
+func TestPushSnapshotSwapsIndex(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Build a replacement index holding a single marker product.
+	next, err := index.New(f.shard.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.SetCodebook(f.shard.Codebook()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	mf := make([]float32, testDim)
+	for i := range mf {
+		mf[i] = float32(rng.NormFloat64())
+	}
+	if _, _, err := next.Insert(core.Attrs{ProductID: 424242, URL: "jfs://pushed.jpg"}, mf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries keep flowing while the new index is pushed.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	oldURL := f.cat.Products[0].ImageURLs[0]
+	go func() {
+		defer wg.Done()
+		c, err := rpc.Dial(s.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Call(context.Background(), search.MethodSearch,
+				core.EncodeSearchRequest(&core.SearchRequest{Feature: f.feats[oldURL], TopK: 1, NProbe: 8, Category: -1})); err != nil {
+				t.Errorf("query during push: %v", err)
+				return
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := PushSnapshot(ctx, s.Addr(), next); err != nil {
+		t.Fatalf("PushSnapshot: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The pushed index is live.
+	resp := callSearch(t, s.Addr(), &core.SearchRequest{Feature: mf, TopK: 1, NProbe: 8, Category: -1})
+	if len(resp.Hits) != 1 || resp.Hits[0].ProductID != 424242 {
+		t.Fatalf("pushed index not serving: %+v", resp.Hits)
+	}
+	// The old corpus is gone (full index replaces, never merges).
+	resp = callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[oldURL], TopK: 5, NProbe: 8, Category: -1})
+	for _, h := range resp.Hits {
+		if h.URL == oldURL {
+			t.Fatalf("old index leaked through the swap: %+v", h)
+		}
+	}
+}
+
+// TestPushSnapshotRejectsGarbage: corrupt snapshot payloads must be
+// rejected without disturbing the serving index.
+func TestPushSnapshotRejectsGarbage(t *testing.T) {
+	f := newFixture(t, 5)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := rpc.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(context.Background(), search.MethodLoadIndex, []byte("garbage snapshot")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	// The original index still serves.
+	url := f.cat.Products[0].ImageURLs[0]
+	resp := callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[url], TopK: 1, NProbe: 8, Category: -1})
+	if len(resp.Hits) == 0 {
+		t.Fatal("index lost after rejected push")
+	}
+}

@@ -1,0 +1,268 @@
+// Package searcher implements the leaf tier of Fig. 10: each searcher owns
+// one index partition, serves similarity scans over it, and tails its
+// message-queue partition to apply real-time index updates (§2.3, Fig. 4)
+// concurrently with searches.
+package searcher
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jdvs/internal/core"
+	"jdvs/internal/index"
+	"jdvs/internal/indexer"
+	"jdvs/internal/metrics"
+	"jdvs/internal/mq"
+	"jdvs/internal/msg"
+	"jdvs/internal/rpc"
+	"jdvs/internal/search"
+)
+
+// AppliedFunc observes every applied real-time update: the decoded event,
+// the operation kind ("addition", "deletion", "update"), whether features
+// or records were reused, and the end-to-end latency from enqueue to
+// applied. Harnesses use it to build Table 1 and Fig. 11.
+type AppliedFunc func(u *msg.ProductUpdate, kind string, reused bool, latency time.Duration)
+
+// Config assembles a searcher node.
+type Config struct {
+	// Partition is this searcher's partition number.
+	Partition core.PartitionID
+	// Shard is the partition's index (already trained/loaded).
+	Shard *index.Shard
+	// Resolver resolves image URLs to features for real-time insertions.
+	// Required when Queue is set.
+	Resolver *indexer.Resolver
+	// Queue, when non-nil, enables the real-time indexing loop consuming
+	// the partition's updates.
+	Queue *mq.Queue
+	// StartOffset is where the real-time consumer begins (normally the
+	// offset the last full index covered).
+	StartOffset int64
+	// Addr is the listen address (":0" for an ephemeral port).
+	Addr string
+	// OnApplied, if set, observes applied updates.
+	OnApplied AppliedFunc
+}
+
+// Searcher is a running searcher node.
+type Searcher struct {
+	partition core.PartitionID
+	shard     atomic.Pointer[index.Shard]
+	res       *indexer.Resolver
+	srv       *rpc.Server
+	queue     *mq.Queue
+	startOff  int64
+	onApplied AppliedFunc
+
+	rtLatency metrics.Histogram
+	applied   metrics.Counter
+	searches  metrics.Counter
+
+	addr   string
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds and starts a searcher (RPC serving plus, if configured, the
+// real-time indexing loop).
+func New(cfg Config) (*Searcher, error) {
+	if cfg.Shard == nil {
+		return nil, errors.New("searcher: Shard is required")
+	}
+	if cfg.Queue != nil && cfg.Resolver == nil {
+		return nil, errors.New("searcher: Resolver is required with Queue")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s := &Searcher{
+		partition: cfg.Partition,
+		res:       cfg.Resolver,
+		queue:     cfg.Queue,
+		startOff:  cfg.StartOffset,
+		onApplied: cfg.OnApplied,
+		done:      make(chan struct{}),
+	}
+	s.shard.Store(cfg.Shard)
+
+	s.srv = rpc.NewServer()
+	s.srv.Handle(search.MethodSearch, s.handleSearch)
+	s.srv.Handle(search.MethodStats, s.handleStats)
+	s.srv.Handle(search.MethodLoadIndex, s.handleLoadIndex)
+	s.srv.Handle(search.MethodPing, func([]byte) ([]byte, error) { return nil, nil })
+	addr, err := s.srv.Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = addr
+
+	if s.queue != nil {
+		consumer, err := s.queue.NewConsumer(indexer.UpdatesTopic, int(s.partition), s.startOff)
+		if err != nil {
+			s.srv.Close()
+			return nil, fmt.Errorf("searcher: attach to queue: %w", err)
+		}
+		s.wg.Add(1)
+		go s.realtimeLoop(consumer)
+	}
+	return s, nil
+}
+
+// Addr returns the searcher's RPC address.
+func (s *Searcher) Addr() string { return s.addr }
+
+// Partition returns the partition this searcher owns.
+func (s *Searcher) Partition() core.PartitionID { return s.partition }
+
+// Shard returns the currently served shard.
+func (s *Searcher) Shard() *index.Shard { return s.shard.Load() }
+
+// SwapShard atomically replaces the served index — the zero-downtime swap
+// at the end of a full indexing cycle. In-flight searches finish on the
+// old shard; new searches see the new one.
+func (s *Searcher) SwapShard(next *index.Shard) { s.shard.Store(next) }
+
+// Close stops serving and waits for the real-time loop to drain.
+func (s *Searcher) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.done)
+	s.wg.Wait()
+	s.srv.Close()
+}
+
+func (s *Searcher) handleSearch(payload []byte) ([]byte, error) {
+	req, err := core.DecodeSearchRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.shard.Load().Search(req)
+	if err != nil {
+		return nil, err
+	}
+	// Stamp our partition into every hit's global reference.
+	for i := range resp.Hits {
+		resp.Hits[i].Image.Partition = s.partition
+	}
+	s.searches.Inc()
+	return core.EncodeSearchResponse(resp), nil
+}
+
+// Stats is the searcher's stats payload (JSON over MethodStats).
+type Stats struct {
+	Partition     core.PartitionID `json:"partition"`
+	Index         index.Stats      `json:"index"`
+	Searches      int64            `json:"searches"`
+	Applied       int64            `json:"applied"`
+	RTAvgMicros   int64            `json:"rt_avg_micros"`
+	RTP99Micros   int64            `json:"rt_p99_micros"`
+	QueueConsumed bool             `json:"queue_consumed"`
+}
+
+func (s *Searcher) handleStats([]byte) ([]byte, error) {
+	st := Stats{
+		Partition:     s.partition,
+		Index:         s.shard.Load().Stats(),
+		Searches:      s.searches.Value(),
+		Applied:       s.applied.Value(),
+		RTAvgMicros:   s.rtLatency.Mean().Microseconds(),
+		RTP99Micros:   s.rtLatency.Percentile(99).Microseconds(),
+		QueueConsumed: s.queue != nil,
+	}
+	return json.Marshal(st)
+}
+
+// handleLoadIndex receives a full shard snapshot (the output of the weekly
+// full indexing, §2.2), materialises it into a fresh shard with the same
+// configuration, and hot-swaps it in. In-flight searches finish on the old
+// shard; the real-time loop applies subsequent events to the new one.
+func (s *Searcher) handleLoadIndex(payload []byte) ([]byte, error) {
+	fresh, err := index.New(s.shard.Load().Config())
+	if err != nil {
+		return nil, err
+	}
+	if err := fresh.LoadSnapshot(bytes.NewReader(payload)); err != nil {
+		return nil, fmt.Errorf("searcher: load pushed index: %w", err)
+	}
+	s.SwapShard(fresh)
+	return nil, nil
+}
+
+// PushSnapshot serialises shard and installs it on the searcher at addr —
+// the distribution step of the periodic full indexing cycle.
+func PushSnapshot(ctx context.Context, addr string, shard *index.Shard) error {
+	var buf bytes.Buffer
+	if err := shard.WriteSnapshot(&buf); err != nil {
+		return err
+	}
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.Call(ctx, search.MethodLoadIndex, buf.Bytes())
+	return err
+}
+
+// realtimeLoop is the Fig. 4 pipeline: receive each update message and
+// process it instantly against the live index.
+func (s *Searcher) realtimeLoop(consumer *mq.Consumer) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		msgs, err := consumer.Poll(256, 50*time.Millisecond)
+		if err != nil {
+			return // queue closed
+		}
+		for _, m := range msgs {
+			s.applyOne(m)
+		}
+	}
+}
+
+func (s *Searcher) applyOne(m mq.Message) {
+	u, err := msg.Decode(m.Payload)
+	if err != nil {
+		return // poison message: skip (logged via stats in a fuller system)
+	}
+	kind, reused, err := indexer.Apply(s.shard.Load(), s.res, u)
+	if err != nil {
+		return
+	}
+	lat := time.Since(m.Enqueued)
+	s.rtLatency.Record(lat)
+	s.applied.Inc()
+	if s.onApplied != nil {
+		s.onApplied(u, kind, reused, lat)
+	}
+}
+
+// RTLatency exposes the real-time indexing latency histogram.
+func (s *Searcher) RTLatency() *metrics.Histogram { return &s.rtLatency }
+
+// Applied returns the number of updates applied.
+func (s *Searcher) Applied() int64 { return s.applied.Value() }
+
+// Ping checks liveness over the network (used by tests).
+func Ping(ctx context.Context, addr string) error {
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.Call(ctx, search.MethodPing, nil)
+	return err
+}

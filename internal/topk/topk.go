@@ -1,0 +1,171 @@
+// Package topk implements bounded top-k selection over (id, distance) pairs
+// and k-way merging of partial result lists.
+//
+// Searchers use a Selector to keep the k nearest images while scanning
+// inverted lists; brokers and blenders use Merge to combine partial top-k
+// lists from downstream nodes into a global top-k.
+package topk
+
+import "sort"
+
+// Item is a candidate search result: an opaque 64-bit identifier and its
+// distance to the query. Lower distance is better.
+type Item struct {
+	ID   uint64
+	Dist float32
+}
+
+// Selector keeps the k smallest-distance items seen so far using a bounded
+// binary max-heap: the root is the current worst of the best k, so a new
+// candidate either beats the root (replace + sift down) or is rejected in
+// O(1). The zero Selector is not usable; call New.
+type Selector struct {
+	k    int
+	heap []Item // max-heap on Dist
+}
+
+// New returns a Selector that retains the k closest items. k must be
+// positive.
+func New(k int) *Selector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Selector{k: k, heap: make([]Item, 0, k)}
+}
+
+// K returns the selector's capacity.
+func (s *Selector) K() int { return s.k }
+
+// Len returns the number of items currently held (≤ k).
+func (s *Selector) Len() int { return len(s.heap) }
+
+// Full reports whether the selector holds k items.
+func (s *Selector) Full() bool { return len(s.heap) == s.k }
+
+// WorstDist returns the largest distance among retained items, or +Inf-like
+// sentinel behaviour: if the selector is not yet full it returns false in
+// the second result, meaning every candidate should be pushed.
+func (s *Selector) WorstDist() (float32, bool) {
+	if len(s.heap) < s.k {
+		return 0, false
+	}
+	return s.heap[0].Dist, true
+}
+
+// Push offers a candidate. It returns true if the candidate was retained.
+func (s *Selector) Push(id uint64, dist float32) bool {
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, Item{ID: id, Dist: dist})
+		s.siftUp(len(s.heap) - 1)
+		return true
+	}
+	if dist >= s.heap[0].Dist {
+		return false
+	}
+	s.heap[0] = Item{ID: id, Dist: dist}
+	s.siftDown(0)
+	return true
+}
+
+// Results returns the retained items sorted by ascending distance (ties
+// broken by ascending ID for determinism). The selector is drained and may
+// be reused afterwards.
+func (s *Selector) Results() []Item {
+	out := s.heap
+	s.heap = make([]Item, 0, s.k)
+	sortItems(out)
+	return out
+}
+
+// Reset drops all retained items, keeping capacity.
+func (s *Selector) Reset() { s.heap = s.heap[:0] }
+
+func (s *Selector) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].Dist >= s.heap[i].Dist {
+			return
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Selector) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l].Dist > s.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && s.heap[r].Dist > s.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Dist != items[j].Dist {
+			return items[i].Dist < items[j].Dist
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// Merge combines several already-sorted partial top-k lists into a single
+// sorted list of at most k items. Inputs must be sorted by ascending
+// distance (as produced by Selector.Results); Merge does not verify this.
+// Duplicate IDs are retained — deduplication is a ranking concern, not a
+// selection concern.
+func Merge(k int, lists ...[]Item) []Item {
+	if k <= 0 {
+		return nil
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	// Small constant number of lists (searchers per broker, brokers per
+	// blender): a repeated linear scan over list heads beats heap overhead.
+	heads := make([]int, len(lists))
+	out := make([]Item, 0, min(k, total))
+	for len(out) < k {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			a, b := l[heads[i]], lists[best][heads[best]]
+			if a.Dist < b.Dist || (a.Dist == b.Dist && a.ID < b.ID) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	New(0)
+}
+
+func TestSelectorBasics(t *testing.T) {
+	s := New(3)
+	if s.K() != 3 || s.Len() != 0 || s.Full() {
+		t.Fatalf("fresh selector state wrong: k=%d len=%d full=%v", s.K(), s.Len(), s.Full())
+	}
+	if _, ok := s.WorstDist(); ok {
+		t.Fatal("WorstDist should report not-full")
+	}
+	s.Push(1, 5)
+	s.Push(2, 1)
+	s.Push(3, 3)
+	if !s.Full() {
+		t.Fatal("selector should be full after 3 pushes")
+	}
+	if w, ok := s.WorstDist(); !ok || w != 5 {
+		t.Fatalf("WorstDist = %v,%v, want 5,true", w, ok)
+	}
+	// A better candidate evicts the worst.
+	if !s.Push(4, 2) {
+		t.Fatal("better candidate rejected")
+	}
+	// A worse candidate is rejected.
+	if s.Push(5, 100) {
+		t.Fatal("worse candidate accepted")
+	}
+	got := s.Results()
+	want := []Item{{2, 1}, {4, 2}, {3, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Results = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Results = %v, want %v", got, want)
+		}
+	}
+	// Selector is reusable after Results.
+	if s.Len() != 0 {
+		t.Fatal("selector not drained after Results")
+	}
+	s.Push(9, 1)
+	if s.Len() != 1 {
+		t.Fatal("selector unusable after Results")
+	}
+}
+
+func TestSelectorTieBreaksByID(t *testing.T) {
+	s := New(4)
+	s.Push(30, 1)
+	s.Push(10, 1)
+	s.Push(20, 1)
+	got := s.Results()
+	for i, want := range []uint64{10, 20, 30} {
+		if got[i].ID != want {
+			t.Fatalf("tie-break order wrong: %v", got)
+		}
+	}
+}
+
+// TestSelectorMatchesSortOracle compares against sorting the full candidate
+// list, across many random workloads.
+func TestSelectorMatchesSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(20)
+		n := rng.Intn(200)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: uint64(i), Dist: float32(rng.Intn(50))} // duplicates likely
+		}
+		s := New(k)
+		for _, it := range items {
+			s.Push(it.ID, it.Dist)
+		}
+		got := s.Results()
+
+		oracle := make([]Item, n)
+		copy(oracle, items)
+		sort.Slice(oracle, func(i, j int) bool {
+			if oracle[i].Dist != oracle[j].Dist {
+				return oracle[i].Dist < oracle[j].Dist
+			}
+			return oracle[i].ID < oracle[j].ID
+		})
+		if len(oracle) > k {
+			oracle = oracle[:k]
+		}
+		if len(got) != len(oracle) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(oracle))
+		}
+		for i := range oracle {
+			// Distances must agree exactly; IDs may differ among equal
+			// distances cut at the boundary, but the multiset of retained
+			// distances is what correctness requires.
+			if got[i].Dist != oracle[i].Dist {
+				t.Fatalf("trial %d item %d: got dist %v, want %v\ngot:  %v\nwant: %v",
+					trial, i, got[i].Dist, oracle[i].Dist, got, oracle)
+			}
+		}
+	}
+}
+
+// Property: results are always sorted and never exceed k.
+func TestSelectorResultsSortedProperty(t *testing.T) {
+	f := func(dists []float32, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		s := New(k)
+		for i, d := range dists {
+			s.Push(uint64(i), d)
+		}
+		got := s.Results()
+		if len(got) > k {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeBasics(t *testing.T) {
+	a := []Item{{1, 1}, {3, 3}, {5, 5}}
+	b := []Item{{2, 2}, {4, 4}, {6, 6}}
+	got := Merge(4, a, b)
+	want := []uint64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Merge = %v", got)
+	}
+	for i := range want {
+		if got[i].ID != want[i] {
+			t.Fatalf("Merge = %v, want ids %v", got, want)
+		}
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if got := Merge(0, []Item{{1, 1}}); got != nil {
+		t.Errorf("k=0 should merge to nil, got %v", got)
+	}
+	if got := Merge(5); got != nil {
+		t.Errorf("no lists should merge to nil, got %v", got)
+	}
+	if got := Merge(5, nil, nil); got != nil {
+		t.Errorf("empty lists should merge to nil, got %v", got)
+	}
+	// k larger than total.
+	got := Merge(10, []Item{{1, 1}}, []Item{{2, 2}})
+	if len(got) != 2 {
+		t.Errorf("merge of 2 items with k=10: got %v", got)
+	}
+}
+
+// TestMergeMatchesSortOracle validates Merge against concatenate-and-sort.
+func TestMergeMatchesSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		nLists := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(15)
+		var lists [][]Item
+		var all []Item
+		id := uint64(0)
+		for l := 0; l < nLists; l++ {
+			n := rng.Intn(20)
+			list := make([]Item, n)
+			for i := range list {
+				list[i] = Item{ID: id, Dist: float32(rng.Intn(30))}
+				id++
+			}
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].Dist != list[j].Dist {
+					return list[i].Dist < list[j].Dist
+				}
+				return list[i].ID < list[j].ID
+			})
+			lists = append(lists, list)
+			all = append(all, list...)
+		}
+		got := Merge(k, lists...)
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Dist != all[j].Dist {
+				return all[i].Dist < all[j].Dist
+			}
+			return all[i].ID < all[j].ID
+		})
+		if len(all) > k {
+			all = all[:k]
+		}
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("trial %d: merge mismatch at %d:\ngot  %v\nwant %v", trial, i, got, all)
+			}
+		}
+	}
+}

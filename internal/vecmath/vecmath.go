@@ -1,0 +1,166 @@
+// Package vecmath provides small, allocation-free float32 vector primitives
+// used throughout the index and search paths: squared Euclidean distance,
+// dot products, norms and batched distance computation.
+//
+// All functions panic on dimension mismatch: a mismatch is a programming
+// error (features of different dimensionality can never be compared), and
+// silently truncating would corrupt search results.
+package vecmath
+
+import "math"
+
+// L2Squared returns the squared Euclidean distance between a and b.
+// The inner loop is unrolled by four, which the compiler turns into
+// reasonably tight code without any assembly.
+func L2Squared(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b []float32) float32 {
+	return float32(math.Sqrt(float64(L2Squared(a, b))))
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: dimension mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(v, v))))
+}
+
+// Normalize scales v in place to unit Euclidean norm. A zero vector is left
+// unchanged (there is no meaningful direction to preserve).
+func Normalize(v []float32) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Add accumulates src into dst element-wise.
+func Add(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("vecmath: dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Scale multiplies every element of v by f.
+func Scale(v []float32, f float32) {
+	for i := range v {
+		v[i] *= f
+	}
+}
+
+// NearestCentroid returns the index of the centroid closest (squared L2) to
+// v, along with that squared distance. centroids is a flat row-major matrix
+// of k rows of dim columns. It panics if the layout is inconsistent or k is
+// zero.
+func NearestCentroid(v []float32, centroids []float32, dim int) (best int, bestDist float32) {
+	if dim <= 0 || len(centroids)%dim != 0 {
+		panic("vecmath: bad centroid layout")
+	}
+	k := len(centroids) / dim
+	if k == 0 {
+		panic("vecmath: no centroids")
+	}
+	if len(v) != dim {
+		panic("vecmath: dimension mismatch")
+	}
+	best = 0
+	bestDist = L2Squared(v, centroids[:dim])
+	for c := 1; c < k; c++ {
+		d := L2Squared(v, centroids[c*dim:(c+1)*dim])
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best, bestDist
+}
+
+// TopCentroids returns the indices of the n closest centroids to v in
+// ascending distance order. It is used to select which inverted lists to
+// probe. n is clamped to the number of centroids.
+func TopCentroids(v []float32, centroids []float32, dim, n int) []int {
+	if dim <= 0 || len(centroids)%dim != 0 {
+		panic("vecmath: bad centroid layout")
+	}
+	k := len(centroids) / dim
+	if n > k {
+		n = k
+	}
+	if n <= 0 {
+		return nil
+	}
+	type cd struct {
+		idx  int
+		dist float32
+	}
+	// Simple selection: maintain the best n in an insertion-sorted array.
+	// k is the number of IVF lists (hundreds to low thousands); n is small.
+	best := make([]cd, 0, n)
+	for c := 0; c < k; c++ {
+		d := L2Squared(v, centroids[c*dim:(c+1)*dim])
+		if len(best) < n {
+			best = append(best, cd{c, d})
+			for i := len(best) - 1; i > 0 && best[i].dist < best[i-1].dist; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+			continue
+		}
+		if d >= best[n-1].dist {
+			continue
+		}
+		best[n-1] = cd{c, d}
+		for i := n - 1; i > 0 && best[i].dist < best[i-1].dist; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.idx
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+// Package workload generates the evaluation's traffic: the Table 1 update
+// mix (315M attribute updates : 521M additions — 513M of them re-additions
+// — : 141M deletions), the diurnal hourly rate shape of Fig. 11(a) peaking
+// at 11:00, and the concurrent query-client emulation of §3.2 ("the client
+// machine emulates a different number of concurrent users by sending image
+// query requests to the visual search system").
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/core"
+	"jdvs/internal/imagestore"
+	"jdvs/internal/metrics"
+	"jdvs/internal/msg"
+	"jdvs/internal/search/client"
+)
+
+// Table 1 proportions (millions of image updates on 2018-08-04).
+const (
+	Table1AttrUpdates    = 315
+	Table1Additions      = 521
+	Table1ReusedAdds     = 513
+	Table1Deletions      = 141
+	Table1Total          = 977
+	Table1FreshAddsShare = float64(Table1Additions-Table1ReusedAdds) / float64(Table1Additions)
+)
+
+// MixConfig parameterises an update-event generator.
+type MixConfig struct {
+	// Weights for each event kind; defaults are Table 1's proportions.
+	AttrWeight, AddWeight, DeleteWeight float64
+	// FreshAddFraction is the share of additions that are brand-new
+	// products requiring feature extraction (default Table1FreshAddsShare
+	// ≈ 1.5%).
+	FreshAddFraction float64
+	// Seed drives event selection.
+	Seed int64
+}
+
+func (c *MixConfig) fill() {
+	if c.AttrWeight <= 0 && c.AddWeight <= 0 && c.DeleteWeight <= 0 {
+		c.AttrWeight = Table1AttrUpdates
+		c.AddWeight = Table1Additions
+		c.DeleteWeight = Table1Deletions
+	}
+	if c.FreshAddFraction <= 0 {
+		c.FreshAddFraction = Table1FreshAddsShare
+	}
+}
+
+// MixGen emits update events with the configured mix against a catalog.
+// Additions of existing products exercise the feature-reuse path
+// ("products which were removed from the market and put back again",
+// §3.1); fresh additions mint a new product, upload its images, and force
+// extraction. Not safe for concurrent use.
+type MixGen struct {
+	cfg    MixConfig
+	cat    *catalog.Catalog
+	images *imagestore.Store
+	rng    *rand.Rand
+
+	listed   []int // indices into cat.Products currently on the market
+	delisted []int
+	pos      map[uint64]int // productID → slice position bookkeeping
+
+	nextID uint64
+	seq    uint64
+}
+
+// NewMix builds a generator. All catalog products start listed.
+func NewMix(cfg MixConfig, cat *catalog.Catalog, images *imagestore.Store) *MixGen {
+	cfg.fill()
+	g := &MixGen{
+		cfg:    cfg,
+		cat:    cat,
+		images: images,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		pos:    make(map[uint64]int),
+	}
+	for i := range cat.Products {
+		g.listed = append(g.listed, i)
+		if cat.Products[i].ID >= g.nextID {
+			g.nextID = cat.Products[i].ID + 1
+		}
+	}
+	return g
+}
+
+// Kind labels generated events for accounting.
+type Kind string
+
+// Event kinds as counted in Table 1.
+const (
+	KindAttrUpdate Kind = "update"
+	KindAddition   Kind = "addition"
+	KindDeletion   Kind = "deletion"
+)
+
+// Next emits the next event. fresh reports whether the event is an
+// addition of a never-before-seen product (extraction required).
+func (g *MixGen) Next() (u *msg.ProductUpdate, kind Kind, fresh bool, err error) {
+	total := g.cfg.AttrWeight + g.cfg.AddWeight + g.cfg.DeleteWeight
+	x := g.rng.Float64() * total
+	g.seq++
+	switch {
+	case x < g.cfg.AttrWeight:
+		return g.attrUpdate()
+	case x < g.cfg.AttrWeight+g.cfg.AddWeight:
+		return g.addition()
+	default:
+		return g.deletion()
+	}
+}
+
+func (g *MixGen) attrUpdate() (*msg.ProductUpdate, Kind, bool, error) {
+	if len(g.listed) == 0 {
+		return g.addition() // nothing to update; degrade to an addition
+	}
+	idx := g.listed[g.rng.Intn(len(g.listed))]
+	p := &g.cat.Products[idx]
+	p.Sales += uint32(g.rng.Intn(50))
+	p.Praise = uint32(g.rng.Intn(101))
+	return &msg.ProductUpdate{
+		Type:       msg.TypeUpdateAttrs,
+		ProductID:  p.ID,
+		Sales:      p.Sales,
+		Praise:     p.Praise,
+		PriceCents: p.PriceCents,
+		ImageURLs:  append([]string(nil), p.ImageURLs...),
+		Seq:        g.seq,
+	}, KindAttrUpdate, false, nil
+}
+
+func (g *MixGen) addition() (*msg.ProductUpdate, Kind, bool, error) {
+	fresh := g.rng.Float64() < g.cfg.FreshAddFraction
+	if !fresh && len(g.delisted) == 0 && len(g.listed) == 0 {
+		fresh = true
+	}
+	if fresh {
+		p, err := g.cat.NewProduct(g.nextID)
+		if err != nil {
+			return nil, "", false, err
+		}
+		g.nextID++
+		if g.images != nil {
+			if err := g.cat.UploadImages(&p, g.images); err != nil {
+				return nil, "", false, err
+			}
+		}
+		g.cat.Products = append(g.cat.Products, p)
+		g.listed = append(g.listed, len(g.cat.Products)-1)
+		return g.event(msg.TypeAddProduct, &g.cat.Products[len(g.cat.Products)-1]), KindAddition, true, nil
+	}
+	// Re-addition: prefer a delisted product (the put-back-on-market path);
+	// fall back to re-announcing a listed one (idempotent reuse).
+	var idx int
+	if len(g.delisted) > 0 {
+		j := g.rng.Intn(len(g.delisted))
+		idx = g.delisted[j]
+		g.delisted[j] = g.delisted[len(g.delisted)-1]
+		g.delisted = g.delisted[:len(g.delisted)-1]
+		g.listed = append(g.listed, idx)
+	} else {
+		idx = g.listed[g.rng.Intn(len(g.listed))]
+	}
+	return g.event(msg.TypeAddProduct, &g.cat.Products[idx]), KindAddition, false, nil
+}
+
+func (g *MixGen) deletion() (*msg.ProductUpdate, Kind, bool, error) {
+	if len(g.listed) == 0 {
+		return g.addition()
+	}
+	j := g.rng.Intn(len(g.listed))
+	idx := g.listed[j]
+	g.listed[j] = g.listed[len(g.listed)-1]
+	g.listed = g.listed[:len(g.listed)-1]
+	g.delisted = append(g.delisted, idx)
+	return g.event(msg.TypeRemoveProduct, &g.cat.Products[idx]), KindDeletion, false, nil
+}
+
+func (g *MixGen) event(t msg.Type, p *catalog.Product) *msg.ProductUpdate {
+	return &msg.ProductUpdate{
+		Type:       t,
+		ProductID:  p.ID,
+		Category:   p.Category,
+		Sales:      p.Sales,
+		Praise:     p.Praise,
+		PriceCents: p.PriceCents,
+		ImageURLs:  append([]string(nil), p.ImageURLs...),
+		Seq:        g.seq,
+	}
+}
+
+// DiurnalShape is the relative hourly rate of real-time index updates over
+// a day, shaped like Fig. 11(a): a deep overnight trough, a fast morning
+// ramp to the 11:00 peak, a lunch dip, and an evening shoulder.
+var DiurnalShape = [24]float64{
+	12, 8, 5, 4, 3, 4, // 00–05
+	8, 15, 30, 52, 70, 80, // 06–11 (peak 80 at 11:00)
+	68, 60, 58, 55, 52, 50, // 12–17
+	55, 60, 58, 45, 30, 18, // 18–23
+}
+
+// HourOfEvent maps event i of total onto an hour 0..23 following shape's
+// cumulative distribution — event streams generated with it reproduce the
+// hourly rate curve.
+func HourOfEvent(i, total int, shape [24]float64) int {
+	var sum float64
+	for _, v := range shape {
+		sum += v
+	}
+	target := (float64(i) + 0.5) / float64(total) * sum
+	var acc float64
+	for h := 0; h < 24; h++ {
+		acc += shape[h]
+		if target <= acc {
+			return h
+		}
+	}
+	return 23
+}
+
+// QueryLoadConfig parameterises a concurrent query run.
+type QueryLoadConfig struct {
+	// Addr is the frontend (or blender) address.
+	Addr string
+	// Concurrency is the number of emulated users. Required.
+	Concurrency int
+	// Duration bounds the run (default 3s). Queries in flight at the
+	// deadline complete and are counted.
+	Duration time.Duration
+	// TopK and NProbe shape each query (defaults 10 / 0 = searcher
+	// default).
+	TopK, NProbe int
+	// QueryPool is how many distinct query images to pre-generate
+	// (default 64).
+	QueryPool int
+	// Blobs, when non-nil, supplies pre-encoded query images and the
+	// catalog is not touched — required when another goroutine (an update
+	// generator) owns the catalog during the run.
+	Blobs [][]byte
+	// Seed selects query products.
+	Seed int64
+	// Conns caps client connections (default min(Concurrency, 16)).
+	Conns int
+}
+
+// MakeQueryBlobs pre-generates n encoded query photos of random catalog
+// products, for passing to RunQueryLoad as QueryLoadConfig.Blobs.
+func MakeQueryBlobs(cat *catalog.Catalog, n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	blobs := make([][]byte, n)
+	for i := range blobs {
+		p := &cat.Products[rng.Intn(len(cat.Products))]
+		blobs[i] = cat.QueryImage(p).Encode()
+	}
+	return blobs
+}
+
+// QueryLoadResult summarises a run.
+type QueryLoadResult struct {
+	Queries int64
+	Errors  int64
+	Wall    time.Duration
+	QPS     float64
+	Latency *metrics.Histogram
+}
+
+// RunQueryLoad emulates cfg.Concurrency users issuing back-to-back visual
+// queries against a running cluster, exactly like the §3.2 client machine.
+func RunQueryLoad(cfg QueryLoadConfig, cat *catalog.Catalog) (*QueryLoadResult, error) {
+	if cfg.Concurrency <= 0 {
+		return nil, errors.New("workload: Concurrency must be positive")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	if cfg.QueryPool <= 0 {
+		cfg.QueryPool = 64
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = cfg.Concurrency
+		if cfg.Conns > 16 {
+			cfg.Conns = 16
+		}
+	}
+	blobs := cfg.Blobs
+	if blobs == nil {
+		if cat == nil || len(cat.Products) == 0 {
+			return nil, errors.New("workload: empty catalog and no pre-generated blobs")
+		}
+		blobs = MakeQueryBlobs(cat, cfg.QueryPool, cfg.Seed)
+	}
+
+	cl, err := client.Dial(cfg.Addr, cfg.Conns)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	res := &QueryLoadResult{Latency: &metrics.Histogram{}}
+	var queries, errs atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				q := &core.QueryRequest{
+					ImageBlob: blobs[local.Intn(len(blobs))],
+					TopK:      cfg.TopK,
+					NProbe:    cfg.NProbe,
+					// CategoryScope -1: search all categories; the clients
+					// in §3.2 measure raw retrieval throughput.
+					CategoryScope: -1,
+				}
+				t0 := time.Now()
+				_, err := cl.Query(ctx, q)
+				lat := time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				queries.Add(1)
+				res.Latency.Record(lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	res.Queries = queries.Load()
+	res.Errors = errs.Load()
+	if res.Wall > 0 {
+		res.QPS = float64(res.Queries) / res.Wall.Seconds()
+	}
+	return res, nil
+}
+
+// String renders a one-line summary.
+func (r *QueryLoadResult) String() string {
+	return fmt.Sprintf("queries=%d errors=%d wall=%s qps=%.1f avg=%s p99=%s max=%s",
+		r.Queries, r.Errors, r.Wall.Round(time.Millisecond), r.QPS,
+		r.Latency.Mean().Round(time.Microsecond),
+		r.Latency.Percentile(99).Round(time.Microsecond),
+		r.Latency.Max().Round(time.Microsecond))
+}

@@ -1,0 +1,124 @@
+package jdvs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jdvs"
+)
+
+// startCluster boots a small end-to-end cluster for tests.
+func startCluster(t *testing.T, cfg jdvs.Config) *jdvs.Cluster {
+	t.Helper()
+	cl, err := jdvs.Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	cl := startCluster(t, jdvs.Config{
+		Partitions: 3,
+		Brokers:    2,
+		Blenders:   2,
+		NLists:     16,
+		Catalog:    jdvs.CatalogConfig{Products: 300, Categories: 8, Seed: 42},
+	})
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Query with a fresh photo of a known product: that product should rank
+	// in the results.
+	target := &cl.Catalog.Products[7]
+	resp, err := c.Query(ctx, jdvs.NewQuery(cl.Catalog.QueryImage(target).Encode(), 10))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(resp.Hits) == 0 {
+		t.Fatal("no hits returned")
+	}
+	found := false
+	for _, h := range resp.Hits {
+		if h.ProductID == target.ID {
+			found = true
+		}
+		if h.URL == "" {
+			t.Errorf("hit for product %d has empty URL", h.ProductID)
+		}
+	}
+	if !found {
+		t.Errorf("query for product %d did not return it; hits: %+v", target.ID, resp.Hits)
+	}
+	// Results must be unique per product (blender dedups).
+	seen := make(map[uint64]bool)
+	for _, h := range resp.Hits {
+		if seen[h.ProductID] {
+			t.Errorf("product %d appears twice in ranked results", h.ProductID)
+		}
+		seen[h.ProductID] = true
+	}
+}
+
+func TestRealTimeFreshness(t *testing.T) {
+	cl := startCluster(t, jdvs.Config{
+		Partitions: 2,
+		NLists:     16,
+		Catalog:    jdvs.CatalogConfig{Products: 200, Categories: 6, Seed: 7},
+	})
+	c, err := cl.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	target := &cl.Catalog.Products[3]
+
+	// Delete the product; it must disappear from results.
+	if err := cl.Publish(cl.RemoveProductEvent(target)); err != nil {
+		t.Fatalf("publish remove: %v", err)
+	}
+	if !cl.WaitForDrain(5 * time.Second) {
+		t.Fatal("real-time indexing did not drain after removal")
+	}
+	resp, err := c.Query(ctx, jdvs.NewQuery(cl.Catalog.QueryImage(target).Encode(), 10))
+	if err != nil {
+		t.Fatalf("Query after removal: %v", err)
+	}
+	for _, h := range resp.Hits {
+		if h.ProductID == target.ID {
+			t.Fatalf("removed product %d still in results", target.ID)
+		}
+	}
+
+	// Re-add it; it must come back (feature reuse path).
+	if err := cl.Publish(cl.AddProductEvent(target)); err != nil {
+		t.Fatalf("publish re-add: %v", err)
+	}
+	if !cl.WaitForDrain(5 * time.Second) {
+		t.Fatal("real-time indexing did not drain after re-add")
+	}
+	resp, err = c.Query(ctx, jdvs.NewQuery(cl.Catalog.QueryImage(target).Encode(), 10))
+	if err != nil {
+		t.Fatalf("Query after re-add: %v", err)
+	}
+	found := false
+	for _, h := range resp.Hits {
+		if h.ProductID == target.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("re-added product %d not in results", target.ID)
+	}
+}
