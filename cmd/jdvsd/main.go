@@ -51,6 +51,7 @@ func run() error {
 		brokers   = flag.String("brokers", "", "blender: comma-separated broker addresses")
 		blenders  = flag.String("blenders", "", "frontend: comma-separated blender addresses")
 		fseed     = flag.Int64("feature-seed", 42, "blender: CNN weight seed (must match the indexer)")
+		workers   = flag.Int("search-workers", 0, "searcher: goroutines scanning probed lists per query (0 = GOMAXPROCS-derived, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -77,9 +78,10 @@ func run() error {
 			return fmt.Errorf("load snapshot: %w", err)
 		}
 		node, err := searcher.New(searcher.Config{
-			Partition: core.PartitionID(*partition),
-			Shard:     shard,
-			Addr:      *addr,
+			Partition:     core.PartitionID(*partition),
+			Shard:         shard,
+			Addr:          *addr,
+			SearchWorkers: *workers,
 		})
 		if err != nil {
 			return err

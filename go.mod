@@ -1,0 +1,3 @@
+module jdvs
+
+go 1.24

@@ -56,6 +56,11 @@ type Config struct {
 	NLists int
 	// DefaultNProbe is the per-searcher probe width (default 8).
 	DefaultNProbe int
+	// SearchWorkers is the intra-query scan parallelism inside each
+	// searcher shard (index.Config.SearchWorkers): probed inverted lists
+	// are striped across this many goroutines per query. 0 derives the
+	// width from GOMAXPROCS; 1 scans serially.
+	SearchWorkers int
 
 	// FeatureSeed seeds the shared CNN so all tiers embed identically.
 	FeatureSeed int64
@@ -163,6 +168,7 @@ func Start(cfg Config) (*Cluster, error) {
 			Dim:           cfg.Dim,
 			NLists:        cfg.NLists,
 			DefaultNProbe: cfg.DefaultNProbe,
+			SearchWorkers: cfg.SearchWorkers,
 		},
 		Seed: cfg.FeatureSeed,
 	}, c.resolver)
@@ -364,6 +370,7 @@ func (c *Cluster) UpdateAttrsEvent(p *catalog.Product, sales, praise, price uint
 	return &msg.ProductUpdate{
 		Type:           msg.TypeUpdateAttrs,
 		ProductID:      p.ID,
+		Category:       p.Category,
 		Sales:          sales,
 		Praise:         praise,
 		PriceCents:     price,
@@ -433,6 +440,7 @@ func (c *Cluster) Reindex() error {
 			Dim:           c.cfg.Dim,
 			NLists:        c.cfg.NLists,
 			DefaultNProbe: c.cfg.DefaultNProbe,
+			SearchWorkers: c.cfg.SearchWorkers,
 		},
 		Seed: c.cfg.FeatureSeed,
 	}, c.resolver)

@@ -277,6 +277,29 @@ func (ix *Index) SetPrice(id ImageID, v uint32) bool {
 	return true
 }
 
+// SetProductID atomically updates the product ID of image id — used when a
+// re-listed image comes back attached to a different product.
+func (ix *Index) SetProductID(id ImageID, v uint64) bool {
+	r := ix.rec(id)
+	if r == nil {
+		return false
+	}
+	r.productID.Store(v)
+	return true
+}
+
+// SetCategory atomically updates the category field of image id. Added so
+// re-listings and attribute updates can refresh the category a
+// category-scoped search filters on, not just the ranking fields.
+func (ix *Index) SetCategory(id ImageID, v uint16) bool {
+	r := ix.rec(id)
+	if r == nil {
+		return false
+	}
+	r.category.Store(uint32(v))
+	return true
+}
+
 // SetURL updates the variable-length URL attribute of image id: the new
 // value is appended to the buffer and the packed reference word is stored
 // atomically (§2.3: "the value is added at the end of the buffer and the

@@ -63,6 +63,9 @@ func TestGetOutOfRange(t *testing.T) {
 	if ix.SetSales(5, 1) {
 		t.Fatal("SetSales past end succeeded")
 	}
+	if ix.SetCategory(5, 1) {
+		t.Fatal("SetCategory past end succeeded")
+	}
 }
 
 func TestNumericUpdates(t *testing.T) {
@@ -71,16 +74,25 @@ func TestNumericUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ix.SetSales(id, 777) || !ix.SetPraise(id, 88) || !ix.SetPrice(id, 999) {
+	if !ix.SetSales(id, 777) || !ix.SetPraise(id, 88) || !ix.SetPrice(id, 999) || !ix.SetCategory(id, 42) {
 		t.Fatal("numeric update rejected")
 	}
 	a, _ := ix.Get(id)
-	if a.Sales != 777 || a.Praise != 88 || a.PriceCents != 999 {
+	if a.Sales != 777 || a.Praise != 88 || a.PriceCents != 999 || a.Category != 42 {
 		t.Fatalf("updates not applied: %+v", a)
 	}
 	// The rest of the record is untouched.
 	if a.ProductID != sampleAttrs(0).ProductID || a.URL != sampleAttrs(0).URL {
 		t.Fatalf("unrelated fields disturbed: %+v", a)
+	}
+	if !ix.SetProductID(id, 31337) {
+		t.Fatal("SetProductID rejected")
+	}
+	if a, _ = ix.Get(id); a.ProductID != 31337 {
+		t.Fatalf("SetProductID not applied: %+v", a)
+	}
+	if ix.SetProductID(id+1, 1) {
+		t.Fatal("SetProductID past end succeeded")
 	}
 }
 

@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"jdvs/internal/bitmapx"
 	"jdvs/internal/core"
@@ -45,6 +47,39 @@ type Config struct {
 	// DefaultNProbe is the number of lists probed when a query does not
 	// specify one (default 8, clamped to NLists).
 	DefaultNProbe int
+	// SearchWorkers is the number of goroutines one Search call uses to
+	// scan its probed inverted lists — the paper's §2.4 "multi-thread
+	// searching" inside a searcher. 1 scans serially on the calling
+	// goroutine; values above 1 stripe the probed lists across that many
+	// workers, each with its own top-k selector, merged at the end. The
+	// default (when <= 0) derives from GOMAXPROCS. Parallel scans keep the
+	// lock-free reader contract: any number of scan workers may run while
+	// the single real-time writer mutates the shard.
+	SearchWorkers int
+}
+
+// MaxTopK caps a single query's result size. SearchRequest.TopK arrives
+// from the wire as an unvalidated integer; without a bound a hostile
+// request could size one top-k selector per scan worker at TopK entries
+// each — and the scratch pool would pin those arrays after the query
+// finished. 4096 is far above any real retrieval depth (the paper's
+// searchers return tens of candidates per partition).
+const MaxTopK = 4096
+
+// maxDefaultSearchWorkers caps the GOMAXPROCS-derived default: beyond a
+// handful of workers per query, fan-out overhead beats scan savings at
+// realistic nprobe values.
+const maxDefaultSearchWorkers = 8
+
+func defaultSearchWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxDefaultSearchWorkers {
+		n = maxDefaultSearchWorkers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 func (c *Config) validate() error {
@@ -59,6 +94,9 @@ func (c *Config) validate() error {
 	}
 	if c.DefaultNProbe > c.NLists {
 		c.DefaultNProbe = c.NLists
+	}
+	if c.SearchWorkers <= 0 {
+		c.SearchWorkers = defaultSearchWorkers()
 	}
 	return nil
 }
@@ -93,6 +131,11 @@ type Shard struct {
 	byURL     map[string]core.ImageID
 	byProduct map[uint64][]core.ImageID
 
+	// searchWorkers is the live intra-query scan parallelism, initialised
+	// from cfg.SearchWorkers and adjustable at runtime (SetSearchWorkers)
+	// while searches are in flight.
+	searchWorkers atomic.Int32
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -102,7 +145,7 @@ func New(cfg Config) (*Shard, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Shard{
+	s := &Shard{
 		cfg:       cfg,
 		fwd:       forward.New(),
 		inv:       inverted.New(cfg.NLists, cfg.ListInitialCap),
@@ -110,7 +153,9 @@ func New(cfg Config) (*Shard, error) {
 		feats:     newFeatMat(cfg.Dim),
 		byURL:     make(map[string]core.ImageID),
 		byProduct: make(map[uint64][]core.ImageID),
-	}, nil
+	}
+	s.searchWorkers.Store(int32(cfg.SearchWorkers))
+	return s, nil
 }
 
 // ErrNotTrained is returned by operations requiring a codebook.
@@ -150,8 +195,27 @@ func (s *Shard) Codebook() *kmeans.Codebook { return s.codebook }
 // Trained reports whether a codebook is installed.
 func (s *Shard) Trained() bool { return s.codebook != nil }
 
-// Config returns the shard's configuration.
-func (s *Shard) Config() Config { return s.cfg }
+// Config returns the shard's configuration, reflecting any runtime
+// SetSearchWorkers adjustment so derived shards (snapshot loads, clones)
+// inherit the live setting.
+func (s *Shard) Config() Config {
+	cfg := s.cfg
+	cfg.SearchWorkers = int(s.searchWorkers.Load())
+	return cfg
+}
+
+// SearchWorkers returns the current intra-query scan parallelism.
+func (s *Shard) SearchWorkers() int { return int(s.searchWorkers.Load()) }
+
+// SetSearchWorkers adjusts the intra-query scan parallelism at runtime;
+// n <= 0 restores the configured value. Safe to call concurrently with
+// searches — in-flight queries finish at the old width.
+func (s *Shard) SetSearchWorkers(n int) {
+	if n <= 0 {
+		n = s.cfg.SearchWorkers
+	}
+	s.searchWorkers.Store(int32(n))
+}
 
 // Insert adds an image with its feature vector and product attributes
 // (Fig. 8). If the URL was indexed before — the product was "removed from
@@ -171,11 +235,39 @@ func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool,
 	id, exists := s.byURL[attrs.URL]
 	s.tabMu.RUnlock()
 	if exists {
-		// Reuse path: revalidate and refresh numeric attributes.
-		s.valid.Set(id)
+		// Reuse path: refresh numeric attributes — including the category,
+		// or a product re-listed under a new category keeps serving its old
+		// one to category-scoped searches — then revalidate. The validity
+		// bit is the publish step (as in the fresh-insert path): flipping it
+		// before the refresh would let a concurrent scoped search serve the
+		// image under its stale attributes.
 		s.fwd.SetSales(id, attrs.Sales)
 		s.fwd.SetPraise(id, attrs.Praise)
 		s.fwd.SetPrice(id, attrs.PriceCents)
+		s.fwd.SetCategory(id, attrs.Category)
+		// A re-listing may also attach the image to a different product:
+		// move it so product-level removals and updates address it under
+		// its current owner (full indexing rebuilds this mapping from the
+		// event log; the real-time path must agree).
+		if old, ok := s.fwd.ProductID(id); ok && old != attrs.ProductID {
+			s.fwd.SetProductID(id, attrs.ProductID)
+			s.tabMu.Lock()
+			olds := s.byProduct[old]
+			kept := make([]core.ImageID, 0, max(len(olds)-1, 0))
+			for _, v := range olds {
+				if v != id {
+					kept = append(kept, v)
+				}
+			}
+			if len(kept) == 0 {
+				delete(s.byProduct, old)
+			} else {
+				s.byProduct[old] = kept
+			}
+			s.byProduct[attrs.ProductID] = append(s.byProduct[attrs.ProductID], id)
+			s.tabMu.Unlock()
+		}
+		s.valid.Set(id)
 		s.bump(func(st *Stats) { st.Inserts++; st.ReusedInserts++ })
 		return id, true, nil
 	}
@@ -255,9 +347,9 @@ func (s *Shard) RemoveImageURL(url string) (bool, error) {
 	return changed, nil
 }
 
-// UpdateAttrsURL atomically updates the numeric attributes of one image
-// addressed by URL (Fig. 7).
-func (s *Shard) UpdateAttrsURL(url string, sales, praise, price uint32) error {
+// UpdateAttrsURL atomically updates the numeric attributes — sales,
+// praise, price and category — of one image addressed by URL (Fig. 7).
+func (s *Shard) UpdateAttrsURL(url string, sales, praise, price uint32, category uint16) error {
 	s.tabMu.RLock()
 	id, ok := s.byURL[url]
 	s.tabMu.RUnlock()
@@ -267,14 +359,16 @@ func (s *Shard) UpdateAttrsURL(url string, sales, praise, price uint32) error {
 	s.fwd.SetSales(id, sales)
 	s.fwd.SetPraise(id, praise)
 	s.fwd.SetPrice(id, price)
+	s.fwd.SetCategory(id, category)
 	s.bump(func(st *Stats) { st.AttrUpdates++ })
 	return nil
 }
 
-// UpdateAttrs atomically updates the numeric attributes of every image of
-// the product (Fig. 7). Unknown products return ErrUnknownProduct so the
-// caller can decide whether the update was misrouted.
-func (s *Shard) UpdateAttrs(productID uint64, sales, praise, price uint32) (int, error) {
+// UpdateAttrs atomically updates the numeric attributes — sales, praise,
+// price and category — of every image of the product (Fig. 7). Unknown
+// products return ErrUnknownProduct so the caller can decide whether the
+// update was misrouted.
+func (s *Shard) UpdateAttrs(productID uint64, sales, praise, price uint32, category uint16) (int, error) {
 	s.tabMu.RLock()
 	ids := s.byProduct[productID]
 	s.tabMu.RUnlock()
@@ -285,6 +379,7 @@ func (s *Shard) UpdateAttrs(productID uint64, sales, praise, price uint32) (int,
 		s.fwd.SetSales(id, sales)
 		s.fwd.SetPraise(id, praise)
 		s.fwd.SetPrice(id, price)
+		s.fwd.SetCategory(id, category)
 	}
 	s.bump(func(st *Stats) { st.AttrUpdates++ })
 	return len(ids), nil
@@ -310,9 +405,52 @@ func (s *Shard) Attrs(id core.ImageID) (core.Attrs, bool) { return s.fwd.Get(id)
 // not modify it.
 func (s *Shard) Feature(id core.ImageID) []float32 { return s.feats.Row(id) }
 
+// searchScratch is the pooled per-query scratch: probe-selection buffers,
+// one top-k selector per scan worker, and the merge output. Pooling keeps
+// the hot path free of per-query allocations across serial and parallel
+// scans.
+type searchScratch struct {
+	probe     []int
+	probeDist []float32
+	sels      []*topk.Selector
+	parts     [][]topk.Item
+	merged    []topk.Item
+	counts    []int
+}
+
+var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// selectors returns n selectors reconfigured for capacity k.
+func (sc *searchScratch) selectors(n, k int) []*topk.Selector {
+	for len(sc.sels) < n {
+		sc.sels = append(sc.sels, topk.New(k))
+	}
+	sels := sc.sels[:n]
+	for _, sel := range sels {
+		sel.ResetK(k)
+	}
+	return sels
+}
+
+// workerCounts returns n zeroed per-worker scanned counters.
+func (sc *searchScratch) workerCounts(n int) []int {
+	if cap(sc.counts) < n {
+		sc.counts = make([]int, n)
+	}
+	sc.counts = sc.counts[:n]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+	return sc.counts
+}
+
 // Search scans the nprobe nearest inverted lists and returns the k nearest
-// valid images with their attributes (§2.4). Lock-free with respect to the
-// real-time indexing writer.
+// valid images with their attributes (§2.4); TopK is clamped to MaxTopK.
+// Lock-free with respect to the real-time indexing writer. When the
+// shard's SearchWorkers is above 1 the
+// probed lists are striped across that many goroutines, each selecting a
+// private top-k over its share, merged at the end; results are identical
+// to the serial scan.
 func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 	if s.codebook == nil {
 		return nil, ErrNotTrained
@@ -324,36 +462,58 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 	if k <= 0 {
 		k = 10
 	}
+	if k > MaxTopK {
+		k = MaxTopK
+	}
 	nprobe := req.NProbe
 	if nprobe <= 0 {
 		nprobe = s.cfg.DefaultNProbe
 	}
-	lists := s.codebook.AssignN(req.Feature, nprobe)
 
-	sel := topk.New(k)
-	scanned := 0
-	for _, c := range lists {
-		s.inv.Scan(c, func(id uint32) bool {
-			if !s.valid.Get(id) {
-				return true // off-market: excluded from search (§2.2)
-			}
-			if req.Category >= 0 {
-				_, _, _, cat, ok := s.fwd.Numeric(id)
-				if !ok || int32(cat) != req.Category {
-					return true
-				}
-			}
-			row := s.feats.Row(id)
-			if row == nil {
-				return true
-			}
-			scanned++
-			sel.Push(uint64(id), vecmath.L2Squared(req.Feature, row))
-			return true
-		})
+	sc := searchScratchPool.Get().(*searchScratch)
+	defer searchScratchPool.Put(sc)
+	sc.probe, sc.probeDist = vecmath.TopCentroidsInto(
+		sc.probe, sc.probeDist, req.Feature, s.codebook.Centroids, s.cfg.Dim, nprobe)
+	lists := sc.probe
+
+	workers := int(s.searchWorkers.Load())
+	if workers > len(lists) {
+		workers = len(lists)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 
-	items := sel.Results()
+	var items []topk.Item
+	scanned := 0
+	if workers == 1 {
+		sel := sc.selectors(1, k)[0]
+		scanned = s.scanLists(req, lists, 0, 1, sel)
+		items = sel.Sorted()
+	} else {
+		sels := sc.selectors(workers, k)
+		counts := sc.workerCounts(workers)
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				counts[w] = s.scanLists(req, lists, w, workers, sels[w])
+			}(w)
+		}
+		// Worker 0 runs on the calling goroutine.
+		counts[0] = s.scanLists(req, lists, 0, workers, sels[0])
+		wg.Wait()
+		parts := sc.parts[:0]
+		for w := 0; w < workers; w++ {
+			scanned += counts[w]
+			parts = append(parts, sels[w].Sorted())
+		}
+		sc.parts = parts
+		sc.merged = topk.MergeInto(sc.merged, k, parts...)
+		items = sc.merged
+	}
+
 	resp := &core.SearchResponse{
 		Hits:    make([]core.Hit, 0, len(items)),
 		Scanned: scanned,
@@ -377,6 +537,36 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 		})
 	}
 	return resp, nil
+}
+
+// scanLists scans every probed list whose index ≡ start (mod stride),
+// pushing valid candidates into sel, and returns how many it scanned.
+// Striding interleaves the (distance-ordered, unevenly sized) lists across
+// workers for balanced shares.
+func (s *Shard) scanLists(req *core.SearchRequest, lists []int, start, stride int, sel *topk.Selector) int {
+	scanned := 0
+	scan := func(id uint32) bool {
+		if !s.valid.Get(id) {
+			return true // off-market: excluded from search (§2.2)
+		}
+		if req.Category >= 0 {
+			_, _, _, cat, ok := s.fwd.Numeric(id)
+			if !ok || int32(cat) != req.Category {
+				return true
+			}
+		}
+		row := s.feats.Row(id)
+		if row == nil {
+			return true
+		}
+		scanned++
+		sel.Push(uint64(id), vecmath.L2Squared(req.Feature, row))
+		return true
+	}
+	for i := start; i < len(lists); i += stride {
+		s.inv.Scan(lists[i], scan)
+	}
+	return scanned
 }
 
 // Stats returns a snapshot of shard counters.

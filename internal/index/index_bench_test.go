@@ -60,6 +60,30 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchWorkers compares the serial scan against the parallel
+// intra-shard scan (§2.4 multi-thread searching) across probe widths and
+// worker counts. Parallel wins over serial at nprobe ≥ 8 on multi-core;
+// workers=1 is the baseline serial path.
+func BenchmarkSearchWorkers(b *testing.B) {
+	s, feats := benchShard(b, 50_000)
+	for _, nprobe := range []int{8, 16, 32} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("nprobe=%d/workers=%d", nprobe, workers), func(b *testing.B) {
+				s.SetSearchWorkers(workers)
+				defer s.SetSearchWorkers(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					req := &core.SearchRequest{Feature: feats[i%len(feats)], TopK: 10, NProbe: nprobe, Category: -1}
+					if _, err := s.Search(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkInsertFresh measures indexing a brand-new image (forward
 // append + feature row + cluster assign + inverted append + bitmap).
 func BenchmarkInsertFresh(b *testing.B) {
@@ -119,7 +143,7 @@ func BenchmarkUpdateAttrs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.UpdateAttrs(uint64(i%10_000+1), uint32(i), 50, 999); err != nil {
+		if _, err := s.UpdateAttrs(uint64(i%10_000+1), uint32(i), 50, 999, uint16(i%8)); err != nil {
 			b.Fatal(err)
 		}
 	}

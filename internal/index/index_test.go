@@ -185,13 +185,13 @@ func TestRemoveUnknownProduct(t *testing.T) {
 	if _, err := s.RemoveProduct(12345); !errors.Is(err, ErrUnknownProduct) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := s.UpdateAttrs(12345, 1, 2, 3); !errors.Is(err, ErrUnknownProduct) {
+	if _, err := s.UpdateAttrs(12345, 1, 2, 3, 0); !errors.Is(err, ErrUnknownProduct) {
 		t.Fatalf("err = %v", err)
 	}
 	if _, err := s.RemoveImageURL("nope"); !errors.Is(err, ErrUnknownProduct) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := s.UpdateAttrsURL("nope", 1, 2, 3); !errors.Is(err, ErrUnknownProduct) {
+	if err := s.UpdateAttrsURL("nope", 1, 2, 3, 0); !errors.Is(err, ErrUnknownProduct) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -205,23 +205,23 @@ func TestUpdateAttrs(t *testing.T) {
 	if _, _, err := s.Insert(a1, randFeature(rng)); err != nil {
 		t.Fatal(err)
 	}
-	n, err := s.UpdateAttrs(a0.ProductID, 500, 60, 700)
+	n, err := s.UpdateAttrs(a0.ProductID, 500, 60, 700, 9)
 	if err != nil || n != 2 {
 		t.Fatalf("UpdateAttrs = %d, %v", n, err)
 	}
 	for id := uint32(0); id < 2; id++ {
 		got, _ := s.Attrs(id)
-		if got.Sales != 500 || got.Praise != 60 || got.PriceCents != 700 {
+		if got.Sales != 500 || got.Praise != 60 || got.PriceCents != 700 || got.Category != 9 {
 			t.Fatalf("image %d attrs = %+v", id, got)
 		}
 	}
 	// URL-level update touches only one image.
-	if err := s.UpdateAttrsURL(a0.URL, 1, 2, 3); err != nil {
+	if err := s.UpdateAttrsURL(a0.URL, 1, 2, 3, 4); err != nil {
 		t.Fatal(err)
 	}
 	g0, _ := s.Attrs(0)
 	g1, _ := s.Attrs(1)
-	if g0.Sales != 1 || g1.Sales != 500 {
+	if g0.Sales != 1 || g1.Sales != 500 || g0.Category != 4 || g1.Category != 9 {
 		t.Fatalf("URL-level update leaked: %+v %+v", g0, g1)
 	}
 }
@@ -428,7 +428,7 @@ func TestConcurrentSearchDuringRealtimeOps(t *testing.T) {
 					return
 				}
 			case 3:
-				_, _ = s.UpdateAttrs(uint64(wrng.Intn(initial/2)+1), uint32(i), 1, 2)
+				_, _ = s.UpdateAttrs(uint64(wrng.Intn(initial/2)+1), uint32(i), 1, 2, uint16(i%4))
 			}
 		}
 	}()
@@ -461,6 +461,255 @@ func TestConcurrentSearchDuringRealtimeOps(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSearchSerialParallelEquivalence pins the tentpole contract: for any
+// worker count, Search returns exactly the hits of the serial scan, across
+// probe widths, result sizes, category scoping and deletions.
+func TestSearchSerialParallelEquivalence(t *testing.T) {
+	s, rng := testShard(t, 32)
+	configuredWorkers := s.SearchWorkers() // before any runtime override
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Insert(attrsFor(i), randFeature(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a slice of products so validity filtering is exercised too.
+	for pid := uint64(1); pid <= 100; pid += 3 {
+		if _, err := s.RemoveProduct(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := make([][]float32, 10)
+	for i := range queries {
+		queries[i] = randFeature(rng)
+	}
+	for _, nprobe := range []int{1, 4, 8, 16, 32} {
+		for _, k := range []int{1, 10, 40} {
+			for _, category := range []int32{-1, 2} {
+				// Serial reference per query, then every parallel width
+				// must reproduce it exactly.
+				serial := make([]*core.SearchResponse, len(queries))
+				s.SetSearchWorkers(1)
+				for qi, q := range queries {
+					resp, err := s.Search(&core.SearchRequest{Feature: q, TopK: k, NProbe: nprobe, Category: category})
+					if err != nil {
+						t.Fatal(err)
+					}
+					serial[qi] = resp
+				}
+				for _, workers := range []int{2, 3, 4, 7} {
+					s.SetSearchWorkers(workers)
+					for qi, q := range queries {
+						got, err := s.Search(&core.SearchRequest{Feature: q, TopK: k, NProbe: nprobe, Category: category})
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := serial[qi]
+						if len(got.Hits) != len(want.Hits) || got.Scanned != want.Scanned || got.Probed != want.Probed {
+							t.Fatalf("nprobe=%d k=%d cat=%d workers=%d query=%d: shape %d/%d/%d, serial %d/%d/%d",
+								nprobe, k, category, workers, qi,
+								len(got.Hits), got.Scanned, got.Probed,
+								len(want.Hits), want.Scanned, want.Probed)
+						}
+						for i := range got.Hits {
+							if got.Hits[i] != want.Hits[i] {
+								t.Fatalf("nprobe=%d k=%d cat=%d workers=%d query=%d hit %d: %+v, serial %+v",
+									nprobe, k, category, workers, qi, i, got.Hits[i], want.Hits[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	s.SetSearchWorkers(0) // restore configured default
+	if got := s.SearchWorkers(); got != configuredWorkers {
+		t.Fatalf("SetSearchWorkers(0) restored %d, want configured %d", got, configuredWorkers)
+	}
+}
+
+// TestSearchTopKClamped guards the wire boundary: an absurd TopK must not
+// size per-worker selectors at the requested depth.
+func TestSearchTopKClamped(t *testing.T) {
+	s, rng := testShard(t, 8)
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.Insert(attrsFor(i), randFeature(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetSearchWorkers(4)
+	defer s.SetSearchWorkers(0)
+	resp, err := s.Search(&core.SearchRequest{Feature: randFeature(rng), TopK: 1 << 30, NProbe: 8, Category: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) == 0 || len(resp.Hits) > MaxTopK {
+		t.Fatalf("clamped search returned %d hits", len(resp.Hits))
+	}
+}
+
+// TestParallelSearchDuringRealtimeOps is the §2.4 concurrency claim with
+// the parallel scan path on: the single real-time writer mutates the shard
+// while readers fan each query across multiple scan goroutines. Run with
+// -race.
+func TestParallelSearchDuringRealtimeOps(t *testing.T) {
+	s, rng := testShard(t, 8)
+	s.SetSearchWorkers(4)
+	const initial = 200
+	feats := make([][]float32, initial)
+	for i := range feats {
+		feats[i] = randFeature(rng)
+		if _, _, err := s.Insert(attrsFor(i), feats[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	// Single writer: mixed inserts, removals, re-adds, attr updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		wrng := rand.New(rand.NewSource(42))
+		for i := 0; i < 2000; i++ {
+			switch wrng.Intn(4) {
+			case 0:
+				a := core.Attrs{
+					ProductID: uint64(2000 + i),
+					URL:       fmt.Sprintf("rt-par-%d", i),
+					Category:  uint16(i % 4),
+				}
+				if _, _, err := s.Insert(a, randFeature(wrng)); err != nil {
+					t.Errorf("rt insert: %v", err)
+					return
+				}
+			case 1:
+				_, _ = s.RemoveProduct(uint64(wrng.Intn(initial/2) + 1))
+			case 2:
+				if _, _, err := s.Insert(attrsFor(wrng.Intn(initial)), nil); err != nil {
+					t.Errorf("rt re-add: %v", err)
+					return
+				}
+			case 3:
+				_, _ = s.UpdateAttrs(uint64(wrng.Intn(initial/2)+1), uint32(i), 1, 2, uint16(i%4))
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := feats[qrng.Intn(len(feats))]
+				resp, err := s.Search(&core.SearchRequest{Feature: q, TopK: 10, NProbe: 8, Category: -1})
+				if err != nil {
+					t.Errorf("parallel search during rt ops: %v", err)
+					return
+				}
+				for _, h := range resp.Hits {
+					if h.URL == "" {
+						t.Error("hit with empty URL during rt ops")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestReListingRefreshesCategory pins the re-listing bugfix: a product
+// removed from the market and put back under a different category must
+// serve the new category to scoped searches, not the stale one.
+func TestReListingRefreshesCategory(t *testing.T) {
+	s, rng := testShard(t, 8)
+	a := core.Attrs{ProductID: 7, Category: 1, URL: "jfs://relist/0.jpg"}
+	f := randFeature(rng)
+	id, _, err := s.Insert(a, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RemoveProduct(a.ProductID); err != nil {
+		t.Fatal(err)
+	}
+	// Re-listed under category 3.
+	a.Category = 3
+	id2, reused, err := s.Insert(a, nil)
+	if err != nil || !reused || id2 != id {
+		t.Fatalf("re-list: id=%d reused=%v err=%v", id2, reused, err)
+	}
+	got, _ := s.Attrs(id)
+	if got.Category != 3 {
+		t.Fatalf("category after re-listing = %d, want 3", got.Category)
+	}
+	for _, tc := range []struct {
+		category int32
+		found    bool
+	}{{3, true}, {1, false}} {
+		resp, err := s.Search(&core.SearchRequest{Feature: f, TopK: 5, NProbe: 8, Category: tc.category})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, h := range resp.Hits {
+			if h.Image.Local == id {
+				found = true
+			}
+		}
+		if found != tc.found {
+			t.Fatalf("category %d scoped search found=%v, want %v", tc.category, found, tc.found)
+		}
+	}
+}
+
+// TestReListingMovesProduct pins the companion fix: a URL re-listed under
+// a different product must be addressable — for product-level removal and
+// attribute updates — under its new owner, not its old one.
+func TestReListingMovesProduct(t *testing.T) {
+	s, rng := testShard(t, 8)
+	a := core.Attrs{ProductID: 7, Category: 1, URL: "jfs://move/0.jpg"}
+	id, _, err := s.Insert(a, randFeature(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RemoveProduct(7); err != nil {
+		t.Fatal(err)
+	}
+	a.ProductID = 9
+	if _, reused, err := s.Insert(a, nil); err != nil || !reused {
+		t.Fatalf("re-list: reused=%v err=%v", reused, err)
+	}
+	got, _ := s.Attrs(id)
+	if got.ProductID != 9 {
+		t.Fatalf("ProductID after re-listing = %d, want 9", got.ProductID)
+	}
+	if imgs := s.ProductImages(9); len(imgs) != 1 || imgs[0] != id {
+		t.Fatalf("ProductImages(9) = %v", imgs)
+	}
+	if imgs := s.ProductImages(7); len(imgs) != 0 {
+		t.Fatalf("image still mapped to old product: %v", imgs)
+	}
+	// Product-level ops address the new owner; the old one is gone.
+	if n, err := s.UpdateAttrs(9, 5, 6, 7, 2); err != nil || n != 1 {
+		t.Fatalf("UpdateAttrs(9) = %d, %v", n, err)
+	}
+	if _, err := s.UpdateAttrs(7, 1, 1, 1, 1); !errors.Is(err, ErrUnknownProduct) {
+		t.Fatalf("UpdateAttrs(7) err = %v, want ErrUnknownProduct", err)
+	}
+	if n, err := s.RemoveProduct(9); err != nil || n != 1 {
+		t.Fatalf("RemoveProduct(9) = %d, %v", n, err)
+	}
+	if s.Valid(id) {
+		t.Fatal("image still valid after removal under new product")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Dim: 0, NLists: 4}); err == nil {
 		t.Fatal("zero dim accepted")
@@ -474,6 +723,22 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if s.Config().DefaultNProbe != 2 {
 		t.Fatalf("nprobe not clamped: %d", s.Config().DefaultNProbe)
+	}
+	// SearchWorkers defaults from GOMAXPROCS and round-trips through
+	// Config for derived shards.
+	if s.Config().SearchWorkers < 1 {
+		t.Fatalf("SearchWorkers not defaulted: %d", s.Config().SearchWorkers)
+	}
+	s2, err := New(Config{Dim: 4, NLists: 2, SearchWorkers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.SearchWorkers() != 6 || s2.Config().SearchWorkers != 6 {
+		t.Fatalf("explicit SearchWorkers lost: %d", s2.SearchWorkers())
+	}
+	s2.SetSearchWorkers(2)
+	if s2.Config().SearchWorkers != 2 {
+		t.Fatalf("runtime SearchWorkers not reflected in Config: %d", s2.Config().SearchWorkers)
 	}
 }
 

@@ -80,7 +80,12 @@ func runShardModelTrial(t *testing.T, seed int64) {
 		case k < 6: // re-insert an existing image (reuse path)
 			url := urls[rng.Intn(len(urls))]
 			m := model[url]
-			a := newAttrs(m.attrs.ProductID, url)
+			pid := m.attrs.ProductID
+			if rng.Intn(3) == 0 { // sometimes re-list under a different product
+				pid = nextPID
+				nextPID++
+			}
+			a := newAttrs(pid, url)
 			id, reused, err := s.Insert(a, nil)
 			if err != nil {
 				t.Fatalf("op %d re-insert: %v", op, err)
@@ -88,7 +93,24 @@ func runShardModelTrial(t *testing.T, seed int64) {
 			if !reused || id != m.id {
 				t.Fatalf("op %d: reuse broken (id %d vs %d, reused=%v)", op, id, m.id, reused)
 			}
+			if pid != m.attrs.ProductID {
+				old := m.attrs.ProductID
+				kept := products[old][:0]
+				for _, u := range products[old] {
+					if u != url {
+						kept = append(kept, u)
+					}
+				}
+				if len(kept) == 0 {
+					delete(products, old)
+				} else {
+					products[old] = kept
+				}
+				products[pid] = append(products[pid], url)
+				m.attrs.ProductID = pid
+			}
 			m.attrs.Sales, m.attrs.Praise, m.attrs.PriceCents = a.Sales, a.Praise, a.PriceCents
+			m.attrs.Category = a.Category
 			m.valid = true
 
 		case k < 7: // remove one image by URL
@@ -117,21 +139,25 @@ func runShardModelTrial(t *testing.T, seed int64) {
 			url := urls[rng.Intn(len(urls))]
 			m := model[url]
 			sales, praise, price := uint32(rng.Intn(1000)), uint32(rng.Intn(101)), uint32(rng.Intn(10000))
-			if err := s.UpdateAttrsURL(url, sales, praise, price); err != nil {
+			category := uint16(rng.Intn(5))
+			if err := s.UpdateAttrsURL(url, sales, praise, price, category); err != nil {
 				t.Fatalf("op %d update url: %v", op, err)
 			}
 			m.attrs.Sales, m.attrs.Praise, m.attrs.PriceCents = sales, praise, price
+			m.attrs.Category = category
 
 		default: // update attrs product-wide
 			url := urls[rng.Intn(len(urls))]
 			pid := model[url].attrs.ProductID
 			sales, praise, price := uint32(rng.Intn(1000)), uint32(rng.Intn(101)), uint32(rng.Intn(10000))
-			if _, err := s.UpdateAttrs(pid, sales, praise, price); err != nil {
+			category := uint16(rng.Intn(5))
+			if _, err := s.UpdateAttrs(pid, sales, praise, price, category); err != nil {
 				t.Fatalf("op %d update product: %v", op, err)
 			}
 			for _, u := range products[pid] {
 				m := model[u]
 				m.attrs.Sales, m.attrs.Praise, m.attrs.PriceCents = sales, praise, price
+				m.attrs.Category = category
 			}
 		}
 

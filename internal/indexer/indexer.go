@@ -114,7 +114,7 @@ func Apply(s *index.Shard, r *Resolver, u *msg.ProductUpdate) (kind string, reus
 		if len(u.ImageURLs) != 1 {
 			return "", false, fmt.Errorf("indexer: attr update carries %d urls, want 1", len(u.ImageURLs))
 		}
-		err := s.UpdateAttrsURL(u.ImageURLs[0], u.Sales, u.Praise, u.PriceCents)
+		err := s.UpdateAttrsURL(u.ImageURLs[0], u.Sales, u.Praise, u.PriceCents, u.Category)
 		if err != nil && errors.Is(err, index.ErrUnknownProduct) {
 			return "update", false, nil
 		}
@@ -300,6 +300,7 @@ func (fi *FullIndexer) fold(states map[string]*imageState, u *msg.ProductUpdate)
 				st.attrs.Sales = u.Sales
 				st.attrs.Praise = u.Praise
 				st.attrs.PriceCents = u.PriceCents
+				st.attrs.Category = u.Category
 			}
 		}
 		st.seq = u.Seq

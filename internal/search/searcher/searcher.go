@@ -49,17 +49,22 @@ type Config struct {
 	Addr string
 	// OnApplied, if set, observes applied updates.
 	OnApplied AppliedFunc
+	// SearchWorkers, when > 0, overrides the shard's intra-query scan
+	// parallelism (index.Config.SearchWorkers) on the initial shard and on
+	// every shard subsequently installed by snapshot push or SwapShard.
+	SearchWorkers int
 }
 
 // Searcher is a running searcher node.
 type Searcher struct {
-	partition core.PartitionID
-	shard     atomic.Pointer[index.Shard]
-	res       *indexer.Resolver
-	srv       *rpc.Server
-	queue     *mq.Queue
-	startOff  int64
-	onApplied AppliedFunc
+	partition     core.PartitionID
+	shard         atomic.Pointer[index.Shard]
+	res           *indexer.Resolver
+	srv           *rpc.Server
+	queue         *mq.Queue
+	startOff      int64
+	onApplied     AppliedFunc
+	searchWorkers int
 
 	rtLatency metrics.Histogram
 	applied   metrics.Counter
@@ -84,12 +89,16 @@ func New(cfg Config) (*Searcher, error) {
 		cfg.Addr = "127.0.0.1:0"
 	}
 	s := &Searcher{
-		partition: cfg.Partition,
-		res:       cfg.Resolver,
-		queue:     cfg.Queue,
-		startOff:  cfg.StartOffset,
-		onApplied: cfg.OnApplied,
-		done:      make(chan struct{}),
+		partition:     cfg.Partition,
+		res:           cfg.Resolver,
+		queue:         cfg.Queue,
+		startOff:      cfg.StartOffset,
+		onApplied:     cfg.OnApplied,
+		searchWorkers: cfg.SearchWorkers,
+		done:          make(chan struct{}),
+	}
+	if s.searchWorkers > 0 {
+		cfg.Shard.SetSearchWorkers(s.searchWorkers)
 	}
 	s.shard.Store(cfg.Shard)
 
@@ -127,8 +136,14 @@ func (s *Searcher) Shard() *index.Shard { return s.shard.Load() }
 
 // SwapShard atomically replaces the served index — the zero-downtime swap
 // at the end of a full indexing cycle. In-flight searches finish on the
-// old shard; new searches see the new one.
-func (s *Searcher) SwapShard(next *index.Shard) { s.shard.Store(next) }
+// old shard; new searches see the new one. A configured SearchWorkers
+// override is re-applied so a pushed index keeps the node's parallelism.
+func (s *Searcher) SwapShard(next *index.Shard) {
+	if s.searchWorkers > 0 {
+		next.SetSearchWorkers(s.searchWorkers)
+	}
+	s.shard.Store(next)
+}
 
 // Close stops serving and waits for the real-time loop to drain.
 func (s *Searcher) Close() {

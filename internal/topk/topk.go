@@ -18,7 +18,12 @@ type Item struct {
 // Selector keeps the k smallest-distance items seen so far using a bounded
 // binary max-heap: the root is the current worst of the best k, so a new
 // candidate either beats the root (replace + sift down) or is rejected in
-// O(1). The zero Selector is not usable; call New.
+// O(1). Items are ordered by (Dist, ID), so among equal distances the
+// smallest IDs are retained: the selection is a pure function of the
+// candidate multiset, independent of push order — which is what lets a
+// striped parallel scan reproduce the serial scan exactly even when
+// distances tie at the k boundary. The zero Selector is not usable; call
+// New.
 type Selector struct {
 	k    int
 	heap []Item // max-heap on Dist
@@ -52,17 +57,27 @@ func (s *Selector) WorstDist() (float32, bool) {
 	return s.heap[0].Dist, true
 }
 
+// itemLess orders items by (Dist, ID) ascending — the selector's and
+// Merge's shared total order.
+func itemLess(a, b Item) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
 // Push offers a candidate. It returns true if the candidate was retained.
 func (s *Selector) Push(id uint64, dist float32) bool {
+	cand := Item{ID: id, Dist: dist}
 	if len(s.heap) < s.k {
-		s.heap = append(s.heap, Item{ID: id, Dist: dist})
+		s.heap = append(s.heap, cand)
 		s.siftUp(len(s.heap) - 1)
 		return true
 	}
-	if dist >= s.heap[0].Dist {
+	if !itemLess(cand, s.heap[0]) {
 		return false
 	}
-	s.heap[0] = Item{ID: id, Dist: dist}
+	s.heap[0] = cand
 	s.siftDown(0)
 	return true
 }
@@ -80,10 +95,37 @@ func (s *Selector) Results() []Item {
 // Reset drops all retained items, keeping capacity.
 func (s *Selector) Reset() { s.heap = s.heap[:0] }
 
+// ResetK drops all retained items and reconfigures the selector to retain
+// the k closest, reusing the existing backing array when it is large
+// enough. It lets pooled selectors serve queries of varying k without
+// reallocating. k must be positive.
+func (s *Selector) ResetK(k int) {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	s.k = k
+	if cap(s.heap) < k {
+		s.heap = make([]Item, 0, k)
+		return
+	}
+	s.heap = s.heap[:0]
+}
+
+// Sorted sorts the retained items in place by ascending distance (ties
+// broken by ascending ID) and returns the selector's internal slice.
+// Unlike Results it performs no allocation, which makes it the right
+// drain for pooled per-query selectors. Sorting destroys the heap
+// invariant: call Reset or ResetK before pushing again, and treat the
+// returned slice as invalidated by any subsequent use of the selector.
+func (s *Selector) Sorted() []Item {
+	sortItems(s.heap)
+	return s.heap
+}
+
 func (s *Selector) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if s.heap[parent].Dist >= s.heap[i].Dist {
+		if !itemLess(s.heap[parent], s.heap[i]) {
 			return
 		}
 		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
@@ -96,10 +138,10 @@ func (s *Selector) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && s.heap[l].Dist > s.heap[largest].Dist {
+		if l < n && itemLess(s.heap[largest], s.heap[l]) {
 			largest = l
 		}
-		if r < n && s.heap[r].Dist > s.heap[largest].Dist {
+		if r < n && itemLess(s.heap[largest], s.heap[r]) {
 			largest = r
 		}
 		if largest == i {
@@ -111,12 +153,7 @@ func (s *Selector) siftDown(i int) {
 }
 
 func sortItems(items []Item) {
-	sort.Slice(items, func(i, j int) bool {
-		if items[i].Dist != items[j].Dist {
-			return items[i].Dist < items[j].Dist
-		}
-		return items[i].ID < items[j].ID
-	})
+	sort.Slice(items, func(i, j int) bool { return itemLess(items[i], items[j]) })
 }
 
 // Merge combines several already-sorted partial top-k lists into a single
@@ -125,20 +162,37 @@ func sortItems(items []Item) {
 // Duplicate IDs are retained — deduplication is a ranking concern, not a
 // selection concern.
 func Merge(k int, lists ...[]Item) []Item {
+	return MergeInto(nil, k, lists...)
+}
+
+// MergeInto is Merge appending into dst (sliced to zero length first), so
+// per-query merge buffers can be pooled and reused without reallocating.
+// dst must not overlap any of the input lists. It returns the extended
+// slice.
+func MergeInto(dst []Item, k int, lists ...[]Item) []Item {
+	dst = dst[:0]
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	total := 0
 	for _, l := range lists {
 		total += len(l)
 	}
 	if total == 0 {
-		return nil
+		return dst
 	}
-	// Small constant number of lists (searchers per broker, brokers per
-	// blender): a repeated linear scan over list heads beats heap overhead.
-	heads := make([]int, len(lists))
-	out := make([]Item, 0, min(k, total))
+	// Small constant number of lists (scan workers per shard, searchers per
+	// broker, brokers per blender): a repeated linear scan over list heads
+	// beats heap overhead.
+	var headsArr [16]int
+	heads := headsArr[:]
+	if len(lists) > len(headsArr) {
+		heads = make([]int, len(lists))
+	}
+	out := dst
+	if cap(out) < min(k, total) {
+		out = make([]Item, 0, min(k, total))
+	}
 	for len(out) < k {
 		best := -1
 		for i, l := range lists {
@@ -149,8 +203,7 @@ func Merge(k int, lists ...[]Item) []Item {
 				best = i
 				continue
 			}
-			a, b := l[heads[i]], lists[best][heads[best]]
-			if a.Dist < b.Dist || (a.Dist == b.Dist && a.ID < b.ID) {
+			if itemLess(l[heads[i]], lists[best][heads[best]]) {
 				best = i
 			}
 		}

@@ -74,6 +74,22 @@ func TestSelectorTieBreaksByID(t *testing.T) {
 	}
 }
 
+// TestSelectorBoundaryTieKeepsSmallestID pins the push-order independence
+// the parallel scan relies on: when candidates tie in distance at the k
+// boundary, the smallest ID is retained no matter which arrived first.
+func TestSelectorBoundaryTieKeepsSmallestID(t *testing.T) {
+	for _, order := range [][]uint64{{9, 5}, {5, 9}} {
+		s := New(1)
+		for _, id := range order {
+			s.Push(id, 2)
+		}
+		got := s.Results()
+		if len(got) != 1 || got[0].ID != 5 {
+			t.Fatalf("push order %v: retained %v, want ID 5", order, got)
+		}
+	}
+}
+
 // TestSelectorMatchesSortOracle compares against sorting the full candidate
 // list, across many random workloads.
 func TestSelectorMatchesSortOracle(t *testing.T) {
@@ -106,12 +122,12 @@ func TestSelectorMatchesSortOracle(t *testing.T) {
 			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(oracle))
 		}
 		for i := range oracle {
-			// Distances must agree exactly; IDs may differ among equal
-			// distances cut at the boundary, but the multiset of retained
-			// distances is what correctness requires.
-			if got[i].Dist != oracle[i].Dist {
-				t.Fatalf("trial %d item %d: got dist %v, want %v\ngot:  %v\nwant: %v",
-					trial, i, got[i].Dist, oracle[i].Dist, got, oracle)
+			// Selection is by (Dist, ID), so retained items — including
+			// which IDs survive a tie cut at the boundary — must match the
+			// oracle exactly, independent of push order.
+			if got[i] != oracle[i] {
+				t.Fatalf("trial %d item %d: got %v, want %v\ngot:  %v\nwant: %v",
+					trial, i, got[i], oracle[i], got, oracle)
 			}
 		}
 	}
@@ -170,6 +186,103 @@ func TestMergeEdgeCases(t *testing.T) {
 	got := Merge(10, []Item{{1, 1}}, []Item{{2, 2}})
 	if len(got) != 2 {
 		t.Errorf("merge of 2 items with k=10: got %v", got)
+	}
+}
+
+func TestResetKReconfigures(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 5; i++ {
+		s.Push(uint64(i), float32(i))
+	}
+	s.ResetK(5)
+	if s.K() != 5 || s.Len() != 0 {
+		t.Fatalf("after ResetK(5): k=%d len=%d", s.K(), s.Len())
+	}
+	for i := 0; i < 10; i++ {
+		s.Push(uint64(i), float32(10-i))
+	}
+	got := s.Sorted()
+	if len(got) != 5 {
+		t.Fatalf("Sorted len = %d, want 5", len(got))
+	}
+	for i, it := range got {
+		if want := uint64(9 - i); it.ID != want {
+			t.Fatalf("Sorted[%d].ID = %d, want %d", i, it.ID, want)
+		}
+	}
+	// Shrinking reuses the backing array and keeps selection correct.
+	s.ResetK(2)
+	for i := 0; i < 10; i++ {
+		s.Push(uint64(i), float32(i))
+	}
+	got = s.Sorted()
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("after shrink: %v", got)
+	}
+}
+
+func TestResetKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResetK(0) did not panic")
+		}
+	}()
+	New(1).ResetK(0)
+}
+
+// TestSortedMatchesResults checks the allocation-free drain returns the
+// same sequence Results would.
+func TestSortedMatchesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		a, b := New(k), New(k)
+		for i := 0; i < rng.Intn(40); i++ {
+			id, d := uint64(rng.Intn(100)), float32(rng.Intn(20))
+			a.Push(id, d)
+			b.Push(id, d)
+		}
+		got, want := a.Sorted(), b.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d item %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeIntoReusesBuffer(t *testing.T) {
+	a := []Item{{1, 1}, {3, 3}}
+	b := []Item{{2, 2}, {4, 4}}
+	buf := make([]Item, 0, 8)
+	got := MergeInto(buf, 3, a, b)
+	if len(got) != 3 || got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
+		t.Fatalf("MergeInto = %v", got)
+	}
+	if &got[:1][0] != &buf[:1][0] {
+		t.Fatal("MergeInto reallocated despite sufficient capacity")
+	}
+	// A stale longer result is truncated, not retained.
+	got = MergeInto(got, 1, a)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("MergeInto reuse = %v", got)
+	}
+	// More lists than the inline head buffer handles.
+	var lists [][]Item
+	for i := 0; i < 20; i++ {
+		lists = append(lists, []Item{{uint64(i), float32(i)}})
+	}
+	got = MergeInto(nil, 20, lists...)
+	if len(got) != 20 {
+		t.Fatalf("wide MergeInto len = %d", len(got))
+	}
+	for i := range got {
+		if got[i].ID != uint64(i) {
+			t.Fatalf("wide MergeInto[%d] = %v", i, got[i])
+		}
 	}
 }
 

@@ -124,6 +124,17 @@ func NearestCentroid(v []float32, centroids []float32, dim int) (best int, bestD
 // ascending distance order. It is used to select which inverted lists to
 // probe. n is clamped to the number of centroids.
 func TopCentroids(v []float32, centroids []float32, dim, n int) []int {
+	idx, _ := TopCentroidsInto(nil, nil, v, centroids, dim, n)
+	return idx
+}
+
+// TopCentroidsInto is TopCentroids writing into caller-supplied scratch:
+// idx receives the selected centroid indices and dist carries their
+// distances during selection. Both are grown only when too small, so a
+// pooled pair of buffers makes repeated probe selection allocation-free.
+// It returns the filled index slice and the (possibly regrown) distance
+// scratch for the caller to retain.
+func TopCentroidsInto(idx []int, dist []float32, v, centroids []float32, dim, n int) ([]int, []float32) {
 	if dim <= 0 || len(centroids)%dim != 0 {
 		panic("vecmath: bad centroid layout")
 	}
@@ -132,35 +143,37 @@ func TopCentroids(v []float32, centroids []float32, dim, n int) []int {
 		n = k
 	}
 	if n <= 0 {
-		return nil
+		return idx[:0], dist[:0]
 	}
-	type cd struct {
-		idx  int
-		dist float32
+	if cap(idx) < n {
+		idx = make([]int, 0, n)
 	}
-	// Simple selection: maintain the best n in an insertion-sorted array.
-	// k is the number of IVF lists (hundreds to low thousands); n is small.
-	best := make([]cd, 0, n)
+	if cap(dist) < n {
+		dist = make([]float32, 0, n)
+	}
+	idx, dist = idx[:0], dist[:0]
+	// Simple selection: maintain the best n in an insertion-sorted pair of
+	// parallel arrays. k is the number of IVF lists (hundreds to low
+	// thousands); n is small.
 	for c := 0; c < k; c++ {
 		d := L2Squared(v, centroids[c*dim:(c+1)*dim])
-		if len(best) < n {
-			best = append(best, cd{c, d})
-			for i := len(best) - 1; i > 0 && best[i].dist < best[i-1].dist; i-- {
-				best[i], best[i-1] = best[i-1], best[i]
+		if len(idx) < n {
+			idx = append(idx, c)
+			dist = append(dist, d)
+			for i := len(idx) - 1; i > 0 && dist[i] < dist[i-1]; i-- {
+				idx[i], idx[i-1] = idx[i-1], idx[i]
+				dist[i], dist[i-1] = dist[i-1], dist[i]
 			}
 			continue
 		}
-		if d >= best[n-1].dist {
+		if d >= dist[n-1] {
 			continue
 		}
-		best[n-1] = cd{c, d}
-		for i := n - 1; i > 0 && best[i].dist < best[i-1].dist; i-- {
-			best[i], best[i-1] = best[i-1], best[i]
+		idx[n-1], dist[n-1] = c, d
+		for i := n - 1; i > 0 && dist[i] < dist[i-1]; i-- {
+			idx[i], idx[i-1] = idx[i-1], idx[i]
+			dist[i], dist[i-1] = dist[i-1], dist[i]
 		}
 	}
-	out := make([]int, len(best))
-	for i, b := range best {
-		out[i] = b.idx
-	}
-	return out
+	return idx, dist
 }

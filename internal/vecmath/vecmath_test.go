@@ -221,6 +221,43 @@ func TestTopCentroidsAgreesWithNearest(t *testing.T) {
 	}
 }
 
+// TestTopCentroidsIntoMatchesTopCentroids checks the scratch-reusing
+// variant selects identically and actually reuses caller buffers.
+func TestTopCentroidsIntoMatchesTopCentroids(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const dim = 8
+	centroids := make([]float32, 50*dim)
+	for i := range centroids {
+		centroids[i] = float32(rng.NormFloat64())
+	}
+	var idx []int
+	var dist []float32
+	for trial := 0; trial < 30; trial++ {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		n := rng.Intn(60) // sometimes above k to exercise clamping
+		want := TopCentroids(v, centroids, dim, n)
+		idx, dist = TopCentroidsInto(idx, dist, v, centroids, dim, n)
+		if len(idx) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(idx), len(want))
+		}
+		for i := range want {
+			if idx[i] != want[i] {
+				t.Fatalf("trial %d: idx[%d] = %d, want %d", trial, i, idx[i], want[i])
+			}
+		}
+	}
+	// Warmed buffers must be reused, not reallocated.
+	idx, dist = TopCentroidsInto(idx, dist, make([]float32, dim), centroids, dim, 10)
+	i0, d0 := &idx[0], &dist[0]
+	idx, dist = TopCentroidsInto(idx, dist, make([]float32, dim), centroids, dim, 10)
+	if &idx[0] != i0 || &dist[0] != d0 {
+		t.Fatal("TopCentroidsInto reallocated warmed scratch")
+	}
+}
+
 // Property: TopCentroids returns distances in ascending order.
 func TestTopCentroidsSorted(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))

@@ -131,6 +131,7 @@ func (g *MixGen) attrUpdate() (*msg.ProductUpdate, Kind, bool, error) {
 	return &msg.ProductUpdate{
 		Type:       msg.TypeUpdateAttrs,
 		ProductID:  p.ID,
+		Category:   p.Category,
 		Sales:      p.Sales,
 		Praise:     p.Praise,
 		PriceCents: p.PriceCents,

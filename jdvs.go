@@ -14,11 +14,15 @@
 //   - Search: a three-level Blender → Broker → Searcher hierarchy fans a
 //     query's CNN features out to every index partition, merges the
 //     nearest images, and ranks the resulting products by sales, praise
-//     and price.
+//     and price. Inside each partition the probed inverted lists are
+//     additionally striped across a pool of scan goroutines (§2.4
+//     multi-thread searching) — Config.SearchWorkers sets the width,
+//     defaulting to a GOMAXPROCS-derived value; 1 restores the serial
+//     scan.
 //
 // Quick start (an in-process cluster over a synthetic catalog):
 //
-//	cl, err := jdvs.Start(jdvs.Config{Partitions: 4})
+//	cl, err := jdvs.Start(jdvs.Config{Partitions: 4, SearchWorkers: 4})
 //	if err != nil { ... }
 //	defer cl.Close()
 //
