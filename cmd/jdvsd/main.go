@@ -52,6 +52,7 @@ func run() error {
 		blenders  = flag.String("blenders", "", "frontend: comma-separated blender addresses")
 		fseed     = flag.Int64("feature-seed", 42, "blender: CNN weight seed (must match the indexer)")
 		workers   = flag.Int("search-workers", 0, "searcher: goroutines scanning probed lists per query (0 = GOMAXPROCS-derived, 1 = serial)")
+		loadIdle  = flag.Duration("load-idle-timeout", 0, "searcher: abort an inbound snapshot stream idle longer than this (0 = default)")
 	)
 	flag.Parse()
 
@@ -78,10 +79,11 @@ func run() error {
 			return fmt.Errorf("load snapshot: %w", err)
 		}
 		node, err := searcher.New(searcher.Config{
-			Partition:     core.PartitionID(*partition),
-			Shard:         shard,
-			Addr:          *addr,
-			SearchWorkers: *workers,
+			Partition:       core.PartitionID(*partition),
+			Shard:           shard,
+			Addr:            *addr,
+			SearchWorkers:   *workers,
+			LoadIdleTimeout: *loadIdle,
 		})
 		if err != nil {
 			return err

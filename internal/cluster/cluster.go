@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -61,6 +62,15 @@ type Config struct {
 	// are striped across this many goroutines per query. 0 derives the
 	// width from GOMAXPROCS; 1 scans serially.
 	SearchWorkers int
+	// SnapshotChunkSize bounds each chunk when Reindex streams the fresh
+	// shards to the searcher fleet over RPC (default rpc.DefaultChunkSize;
+	// see searcher.PushOptions). Tests use small values to force
+	// multi-chunk transfers.
+	SnapshotChunkSize int
+	// PushTimeout bounds the whole snapshot distribution fan-out of one
+	// Reindex (default 5m). Size it to shard bytes / link throughput: the
+	// chunked sender pays one round trip per chunk.
+	PushTimeout time.Duration
 
 	// FeatureSeed seeds the shared CNN so all tiers embed identically.
 	FeatureSeed int64
@@ -428,9 +438,12 @@ func (c *Cluster) bootstrapLen() int64 {
 }
 
 // Reindex performs the periodic full indexing cycle of §2.2 against the
-// complete update log and hot-swaps the fresh shards into every running
-// searcher with zero downtime: in-flight searches finish on the old index,
-// new searches see the new one. Real-time consumers keep their queue
+// complete update log and distributes the fresh shards to every running
+// searcher over the chunked snapshot-streaming RPC path — the same wire
+// machinery a multi-host deployment uses — hot-swapping each with zero
+// downtime: in-flight searches finish on the old index, new searches see
+// the new one. Each replica materialises its own shard from the stream, so
+// replicas never share index state. Real-time consumers keep their queue
 // positions; events they re-apply on top of the fresh index are idempotent
 // (additions reuse, deletions flip bits, attribute updates overwrite).
 func (c *Cluster) Reindex() error {
@@ -451,19 +464,39 @@ func (c *Cluster) Reindex() error {
 	if err != nil {
 		return fmt.Errorf("cluster: reindex: %w", err)
 	}
+	// Push every partition to every replica concurrently. Serialising a
+	// shard is read-only, so one built shard can feed all its replicas'
+	// streams at once.
+	pushTimeout := c.cfg.PushTimeout
+	if pushTimeout <= 0 {
+		pushTimeout = 5 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+	defer cancel()
+	opts := searcher.PushOptions{ChunkSize: c.cfg.SnapshotChunkSize}
+	var wg sync.WaitGroup
+	errs := make(chan error, 1)
 	for p := 0; p < c.cfg.Partitions; p++ {
 		for r, s := range c.searchers[p] {
-			shard := shards[p]
-			if r > 0 {
-				shard, err = cloneShard(shards[p])
-				if err != nil {
-					return fmt.Errorf("cluster: reindex clone p%d: %w", p, err)
+			wg.Add(1)
+			go func(p, r int, s *searcher.Searcher) {
+				defer wg.Done()
+				if err := searcher.PushSnapshotWith(ctx, s.Addr(), shards[p], opts); err != nil {
+					select {
+					case errs <- fmt.Errorf("cluster: reindex push p%d r%d: %w", p, r, err):
+					default:
+					}
 				}
-			}
-			s.SwapShard(shard)
+			}(p, r, s)
 		}
 	}
-	return nil
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
 }
 
 // StartPeriodicReindex launches the periodic full indexing cycle of §2.2

@@ -89,6 +89,65 @@ func TestReindexZeroDowntimeUnderLoad(t *testing.T) {
 	wg.Wait()
 }
 
+// TestReindexStreamsMultiChunk forces the snapshot distribution of a full
+// reindex through many small chunks, across replicas, end to end: the
+// whole fleet must swap to streamed shards and answer queries afterwards.
+func TestReindexStreamsMultiChunk(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Replicas = 2
+	cfg.SnapshotChunkSize = 2048
+	c := startTestCluster(t, cfg)
+
+	target := &c.Catalog.Products[7]
+	if err := c.Publish(c.RemoveProductEvent(target)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+	if err := c.Reindex(); err != nil {
+		t.Fatalf("Reindex: %v", err)
+	}
+
+	// Every replica of every partition installed a streamed snapshot and
+	// excludes the removed product.
+	for p := 0; p < c.Partitions(); p++ {
+		for r := 0; r < c.Replicas(); r++ {
+			s := c.Searcher(p, r)
+			if got := s.SnapshotLoads(); got != 1 {
+				t.Fatalf("p%d r%d SnapshotLoads = %d, want 1", p, r, got)
+			}
+			if got := s.LoadSessions(); got != 0 {
+				t.Fatalf("p%d r%d has %d sessions left", p, r, got)
+			}
+			for _, url := range target.ImageURLs {
+				if s.Shard().HasURL(url) {
+					t.Fatalf("removed image %s survived the streamed reindex on p%d r%d", url, p, r)
+				}
+			}
+		}
+	}
+
+	// Queries still flow through the full topology.
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	alive := &c.Catalog.Products[10]
+	resp, err := cl.Query(ctx, &core.QueryRequest{
+		ImageBlob: c.Catalog.QueryImage(alive).Encode(), TopK: 5, CategoryScope: core.AllCategories,
+	})
+	if err != nil {
+		t.Fatalf("query after streamed reindex: %v", err)
+	}
+	if len(resp.Hits) == 0 {
+		t.Fatal("no hits after streamed reindex")
+	}
+}
+
 func TestStartPeriodicReindex(t *testing.T) {
 	cfg := Config{
 		Partitions: 2,

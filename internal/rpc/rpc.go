@@ -13,6 +13,11 @@
 // responses by request ID, so a single searcher connection sustains the
 // fan-out concurrency the three-level architecture needs without a
 // connection per in-flight query.
+//
+// Payloads larger than MaxFrame move through the chunked streaming
+// protocol (StreamSender / StreamServer, stream.go): a begin/chunk/commit
+// session of checksummed, sequence-numbered chunks with an idle-timeout
+// reaper on the receiving side.
 package rpc
 
 import (
@@ -397,6 +402,9 @@ func DialPool(addr string, n int) (*Pool, error) {
 
 // Call issues the request on the next connection in round-robin order.
 func (p *Pool) Call(ctx context.Context, method uint16, payload []byte) ([]byte, error) {
+	// The modulo is computed in uint64 before any narrowing: converting the
+	// counter to int first would go negative after 2³¹ calls on a 32-bit
+	// platform and panic the index expression.
 	c := p.clients[p.next.Add(1)%uint64(len(p.clients))]
 	return c.Call(ctx, method, payload)
 }

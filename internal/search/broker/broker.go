@@ -36,6 +36,13 @@ type Config struct {
 	// timeout the broker fails over to the partition's next replica, so a
 	// hung searcher degrades one replica, not the query.
 	SearcherTimeout time.Duration
+	// QueryTimeout bounds the whole fan-out, failovers included. Without
+	// it, a partition whose R replicas all time out burns R×SearcherTimeout
+	// serially before the query returns. When the deadline expires the
+	// broker returns the partial results it has (counted in
+	// Stats.Partials). Default 3×SearcherTimeout; negative disables the
+	// overall bound.
+	QueryTimeout time.Duration
 	// Addr is the listen address (":0" for ephemeral).
 	Addr string
 }
@@ -49,12 +56,14 @@ type partitionGroup struct {
 
 // Broker is a running broker node.
 type Broker struct {
-	srv    *rpc.Server
-	groups []*partitionGroup
-	addr   string
+	srv          *rpc.Server
+	groups       []*partitionGroup
+	addr         string
+	queryTimeout time.Duration
 
 	queries  metrics.Counter
 	failures metrics.Counter
+	partials metrics.Counter
 }
 
 // New connects to every assigned searcher and starts serving.
@@ -68,10 +77,16 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.SearcherTimeout <= 0 {
 		cfg.SearcherTimeout = 5 * time.Second
 	}
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = 3 * cfg.SearcherTimeout
+	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
-	b := &Broker{groups: make([]*partitionGroup, 0, len(cfg.PartitionReplicas))}
+	b := &Broker{
+		groups:       make([]*partitionGroup, 0, len(cfg.PartitionReplicas)),
+		queryTimeout: cfg.QueryTimeout,
+	}
 	for _, replicas := range cfg.PartitionReplicas {
 		if len(replicas) == 0 {
 			b.closePools()
@@ -123,10 +138,13 @@ func (b *Broker) closePools() {
 // replica costs one timeout, not the query.
 func (g *partitionGroup) call(ctx context.Context, payload []byte) ([]byte, error) {
 	n := len(g.pools)
-	start := int(g.next.Add(1))
+	// The cursor arithmetic stays in uint64: converting the counter to int
+	// first goes negative once it passes the int range (2³¹ queries on a
+	// 32-bit platform), and a negative modulo panics the index expression.
+	start := g.next.Add(1)
 	var lastErr error
 	for i := 0; i < n; i++ {
-		pool := g.pools[(start+i)%n]
+		pool := g.pools[(start+uint64(i))%uint64(n)]
 		attemptCtx, cancel := context.WithTimeout(ctx, g.timeout)
 		resp, err := pool.Call(attemptCtx, search.MethodSearch, payload)
 		cancel()
@@ -148,7 +166,15 @@ func (b *Broker) handleSearch(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One deadline over the whole fan-out: replica failover keeps going
+	// only while the query as a whole still has budget, and an expired
+	// query returns whatever partitions already answered.
 	ctx := context.Background()
+	if b.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.queryTimeout)
+		defer cancel()
+	}
 
 	type partial struct {
 		resp *core.SearchResponse
@@ -188,6 +214,9 @@ func (b *Broker) handleSearch(payload []byte) ([]byte, error) {
 	if okCount == 0 {
 		return nil, fmt.Errorf("broker: all partitions failed: %w", lastErr)
 	}
+	if okCount < len(b.groups) {
+		b.partials.Inc()
+	}
 	// Keep the k best across partitions; the blender re-ranks globally.
 	sort.Slice(merged.Hits, func(i, j int) bool {
 		if merged.Hits[i].Dist != merged.Hits[j].Dist {
@@ -205,7 +234,11 @@ func (b *Broker) handleSearch(payload []byte) ([]byte, error) {
 type Stats struct {
 	Partitions int   `json:"partitions"`
 	Queries    int64 `json:"queries"`
-	Failures   int64 `json:"failures"`
+	// Failures counts partition fan-out legs that failed; Partials counts
+	// queries answered with at least one partition missing (e.g. the
+	// QueryTimeout expired mid-failover).
+	Failures int64 `json:"failures"`
+	Partials int64 `json:"partials"`
 }
 
 func (b *Broker) handleStats([]byte) ([]byte, error) {
@@ -213,5 +246,6 @@ func (b *Broker) handleStats([]byte) ([]byte, error) {
 		Partitions: len(b.groups),
 		Queries:    b.queries.Value(),
 		Failures:   b.failures.Value(),
+		Partials:   b.partials.Value(),
 	})
 }

@@ -3,8 +3,11 @@ package broker
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"math/rand"
+	"net"
 	"testing"
+	"time"
 
 	"jdvs/internal/catalog"
 	"jdvs/internal/cnn"
@@ -272,6 +275,127 @@ func TestPartitionLossDegradation(t *testing.T) {
 	}
 	if st.Failures == 0 {
 		t.Fatalf("stats = %+v, want failures > 0", st)
+	}
+}
+
+// TestRoundRobinCursorNearWrap: the replica cursor modulo is computed in
+// uint64; a counter past the int range must keep rotating replicas instead
+// of producing a negative index and panicking the fan-out goroutine.
+func TestRoundRobinCursorNearWrap(t *testing.T) {
+	f := newTwoPartitions(t, 2)
+	b, err := New(Config{PartitionReplicas: f.groups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for _, g := range b.groups {
+		g.next.Store(math.MaxUint64 - 3)
+	}
+	url := f.cat.Products[0].ImageURLs[0]
+	req := &core.SearchRequest{Feature: f.feats[url], TopK: 3, NProbe: 8, Category: -1}
+	for i := 0; i < 8; i++ {
+		resp, err := callBroker(t, b.Addr(), req)
+		if err != nil {
+			t.Fatalf("query %d across cursor wrap: %v", i, err)
+		}
+		if len(resp.Hits) == 0 {
+			t.Fatalf("query %d returned no hits", i)
+		}
+	}
+}
+
+// hangServer accepts connections and swallows everything without ever
+// responding — a searcher that is up but wedged.
+func hangServer(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// TestQueryTimeoutReturnsPartialResults: a wedged partition must cost the
+// query at most QueryTimeout, not SearcherTimeout × replicas, and the
+// healthy partitions' results still come back.
+func TestQueryTimeoutReturnsPartialResults(t *testing.T) {
+	f := newTwoPartitions(t, 1)
+	groups := f.groups()
+	// Partition 1 is served only by a wedged searcher.
+	groups[1] = []string{hangServer(t)}
+	b, err := New(Config{
+		PartitionReplicas: groups,
+		SearcherTimeout:   10 * time.Second,
+		QueryTimeout:      300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Query for a partition-0 product.
+	var target *catalog.Product
+	for i := range f.cat.Products {
+		if int(f.cat.Products[i].ID)%2 == 0 {
+			target = &f.cat.Products[i]
+			break
+		}
+	}
+	url := target.ImageURLs[0]
+	startAt := time.Now()
+	resp, err := callBroker(t, b.Addr(), &core.SearchRequest{
+		Feature: f.feats[url], TopK: 5, NProbe: 8, Category: -1,
+	})
+	elapsed := time.Since(startAt)
+	if err != nil {
+		t.Fatalf("partial query failed: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("query took %v; QueryTimeout did not bound the fan-out", elapsed)
+	}
+	if len(resp.Hits) == 0 || resp.Hits[0].ProductID != target.ID {
+		t.Fatalf("healthy partition's results missing: %+v", resp.Hits)
+	}
+	for _, h := range resp.Hits {
+		if h.Image.Partition == 1 {
+			t.Fatalf("hit from the wedged partition: %+v", h)
+		}
+	}
+
+	// The degradation is visible in stats.
+	c, err := rpc.Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.Call(context.Background(), search.MethodStats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Partials == 0 || st.Failures == 0 {
+		t.Fatalf("stats = %+v, want partials > 0 and failures > 0", st)
 	}
 }
 

@@ -5,6 +5,8 @@
 // API.
 package search
 
+import "jdvs/internal/rpc"
+
 // RPC method identifiers. A method's request/response payloads are the
 // core codecs noted beside it.
 const (
@@ -22,6 +24,35 @@ const (
 	MethodPing uint16 = 4
 	// MethodLoadIndex: shard snapshot bytes → empty. Served by searchers:
 	// the weekly full indexing pushes fresh partition indexes to the fleet
-	// and each searcher hot-swaps with zero downtime (§2.2).
+	// and each searcher hot-swaps with zero downtime (§2.2). Single-frame
+	// path, only usable when the whole snapshot fits under rpc.MaxFrame;
+	// larger snapshots go through the chunked session below.
 	MethodLoadIndex uint16 = 5
+
+	// Chunked snapshot streaming (rpc.StreamMethods wiring; payload formats
+	// are defined by package rpc's stream codec). A pusher begins a session,
+	// streams the snapshot as sequence-numbered CRC-checked chunks, and
+	// commits; the searcher materialises the shard incrementally and only
+	// hot-swaps it in on a verified commit. Abort (explicit, or implicit via
+	// the receiver's idle timeout) discards the partial transfer without
+	// touching the serving shard.
+	//
+	// MethodLoadIndexBegin: empty → [8B sessionID].
+	MethodLoadIndexBegin uint16 = 6
+	// MethodLoadIndexChunk: [8B sessionID][8B seq][4B crc32c][data] → empty.
+	MethodLoadIndexChunk uint16 = 7
+	// MethodLoadIndexCommit: [8B sessionID][8B chunks][8B bytes][4B crc32c]
+	// → empty; swaps the shard in on success.
+	MethodLoadIndexCommit uint16 = 8
+	// MethodLoadIndexAbort: [8B sessionID] → empty.
+	MethodLoadIndexAbort uint16 = 9
 )
+
+// LoadIndexStream is the rpc.StreamMethods wiring for chunked snapshot
+// distribution, shared by the searcher (receiver) and push path (sender).
+var LoadIndexStream = rpc.StreamMethods{
+	Begin:  MethodLoadIndexBegin,
+	Chunk:  MethodLoadIndexChunk,
+	Commit: MethodLoadIndexCommit,
+	Abort:  MethodLoadIndexAbort,
+}

@@ -1,6 +1,7 @@
 package searcher
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"sync"
@@ -88,6 +89,232 @@ func TestPushSnapshotSwapsIndex(t *testing.T) {
 		if h.URL == oldURL {
 			t.Fatalf("old index leaked through the swap: %+v", h)
 		}
+	}
+}
+
+// TestPushSnapshotMultiChunk is the regression test for the 64MB push
+// ceiling: a snapshot far larger than the configured chunk size must
+// round-trip through the chunked streaming path and serve searches
+// identically to the source shard.
+func TestPushSnapshotMultiChunk(t *testing.T) {
+	f := newFixture(t, 40)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Rebuild the same corpus into a second shard — the "freshly built
+	// index" being distributed.
+	next, err := index.New(f.shard.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.SetCodebook(f.shard.Codebook()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.cat.Products {
+		p := &f.cat.Products[i]
+		for _, url := range p.ImageURLs {
+			if _, _, err := next.Insert(p.Attrs(url), f.feats[url]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The transfer must genuinely span many chunks.
+	const chunkSize = 1024
+	var snap bytes.Buffer
+	if err := next.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() < 3*chunkSize {
+		t.Fatalf("snapshot is %d bytes; too small to exercise chunking at %d", snap.Len(), chunkSize)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := PushSnapshotWith(ctx, s.Addr(), next, PushOptions{ChunkSize: chunkSize}); err != nil {
+		t.Fatalf("chunked PushSnapshot: %v", err)
+	}
+	if got := s.SnapshotLoads(); got != 1 {
+		t.Fatalf("SnapshotLoads = %d, want 1", got)
+	}
+	if got := s.LoadSessions(); got != 0 {
+		t.Fatalf("LoadSessions = %d after commit, want 0", got)
+	}
+
+	// The swapped-in shard answers exactly like the source shard: same
+	// hits, same order, same distances, for corpus and random queries.
+	rng := rand.New(rand.NewSource(17))
+	queries := make([][]float32, 0, 8)
+	for i := 0; i < 4; i++ {
+		p := &f.cat.Products[i*7%len(f.cat.Products)]
+		queries = append(queries, f.feats[p.ImageURLs[0]])
+	}
+	for i := 0; i < 4; i++ {
+		q := make([]float32, testDim)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		queries = append(queries, q)
+	}
+	for qi, q := range queries {
+		req := &core.SearchRequest{Feature: q, TopK: 10, NProbe: 8, Category: -1}
+		want, err := next.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := callSearch(t, s.Addr(), req)
+		if len(got.Hits) != len(want.Hits) {
+			t.Fatalf("query %d: %d hits via push, %d from source", qi, len(got.Hits), len(want.Hits))
+		}
+		for i := range want.Hits {
+			w, g := want.Hits[i], got.Hits[i]
+			if w.ProductID != g.ProductID || w.URL != g.URL || w.Dist != g.Dist {
+				t.Fatalf("query %d hit %d diverged: pushed %+v, source %+v", qi, i, g, w)
+			}
+		}
+	}
+}
+
+// TestPushAbortLeavesServingShard aborts a transfer mid-stream and checks
+// the searcher keeps serving its old shard with no session left behind.
+func TestPushAbortLeavesServingShard(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var snap bytes.Buffer
+	if err := f.shard.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := rpc.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	resp, err := c.Call(ctx, search.MethodLoadIndexBegin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rpc.DecodeStreamSession(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One genuine chunk of a real snapshot, then abandon the transfer.
+	if _, err := c.Call(ctx, search.MethodLoadIndexChunk,
+		rpc.EncodeStreamChunk(id, 0, snap.Bytes()[:1024])); err != nil {
+		t.Fatal(err)
+	}
+	if s.LoadSessions() != 1 {
+		t.Fatal("streaming session not tracked")
+	}
+	if _, err := c.Call(ctx, search.MethodLoadIndexAbort, rpc.EncodeStreamSession(id)); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	if got := s.LoadSessions(); got != 0 {
+		t.Fatalf("LoadSessions = %d after abort, want 0", got)
+	}
+	if got := s.SnapshotLoads(); got != 0 {
+		t.Fatalf("SnapshotLoads = %d after abort, want 0", got)
+	}
+	// The old shard still serves.
+	url := f.cat.Products[0].ImageURLs[0]
+	resp2 := callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[url], TopK: 1, NProbe: 8, Category: -1})
+	if len(resp2.Hits) == 0 || resp2.Hits[0].URL != url {
+		t.Fatalf("serving shard disturbed by aborted push: %+v", resp2.Hits)
+	}
+}
+
+// TestPushDisconnectReapedByIdleTimeout: a pusher that dies mid-stream
+// (connection drop, no abort) must be reaped by the idle timeout without
+// disturbing the serving shard.
+func TestPushDisconnectReapedByIdleTimeout(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard, LoadIdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var snap bytes.Buffer
+	if err := f.shard.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	c, err := rpc.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	resp, err := c.Call(ctx, search.MethodLoadIndexBegin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rpc.DecodeStreamSession(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(ctx, search.MethodLoadIndexChunk,
+		rpc.EncodeStreamChunk(id, 0, snap.Bytes()[:512])); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // pusher vanishes mid-stream
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.LoadSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned session never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	url := f.cat.Products[0].ImageURLs[0]
+	got := callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[url], TopK: 1, NProbe: 8, Category: -1})
+	if len(got.Hits) == 0 || got.Hits[0].URL != url {
+		t.Fatalf("serving shard disturbed by abandoned push: %+v", got.Hits)
+	}
+}
+
+// TestPushChunkSequenceViolation: a skipped sequence number kills the
+// session and never touches the serving shard.
+func TestPushChunkSequenceViolation(t *testing.T) {
+	f := newFixture(t, 5)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := rpc.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	resp, err := c.Call(ctx, search.MethodLoadIndexBegin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rpc.DecodeStreamSession(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(ctx, search.MethodLoadIndexChunk,
+		rpc.EncodeStreamChunk(id, 3, []byte("out of order"))); err == nil {
+		t.Fatal("out-of-order chunk accepted")
+	}
+	if got := s.LoadSessions(); got != 0 {
+		t.Fatalf("LoadSessions = %d after sequence violation, want 0", got)
+	}
+	url := f.cat.Products[0].ImageURLs[0]
+	got := callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[url], TopK: 1, NProbe: 8, Category: -1})
+	if len(got.Hits) == 0 {
+		t.Fatal("index lost after rejected stream")
 	}
 }
 

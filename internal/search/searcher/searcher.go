@@ -2,6 +2,27 @@
 // one index partition, serves similarity scans over it, and tails its
 // message-queue partition to apply real-time index updates (§2.3, Fig. 4)
 // concurrently with searches.
+//
+// # Snapshot distribution
+//
+// The periodic full indexing cycle (§2.2) ends by pushing each partition's
+// fresh index to its searchers. Two wire paths exist:
+//
+//   - search.MethodLoadIndex: the whole snapshot as one frame. Only viable
+//     while the snapshot fits under rpc.MaxFrame; kept for small shards and
+//     back compatibility.
+//   - search.LoadIndexStream (MethodLoadIndexBegin/Chunk/Commit/Abort): a
+//     chunked session (rpc stream codec). The receiver feeds verified
+//     chunks straight into index.LoadSnapshot through a pipe, so a shard is
+//     materialised incrementally with O(chunk) transfer buffering; the
+//     serving shard is hot-swapped only on a clean, totals-verified commit.
+//     An abort — explicit, or implicit when the session idles past
+//     Config.LoadIdleTimeout — discards the partial shard and leaves the
+//     serving index untouched.
+//
+// PushSnapshot picks between the two automatically: it serialises straight
+// into the chunked sender and falls back to the single frame when the
+// whole snapshot fit inside one chunk.
 package searcher
 
 import (
@@ -10,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +75,10 @@ type Config struct {
 	// parallelism (index.Config.SearchWorkers) on the initial shard and on
 	// every shard subsequently installed by snapshot push or SwapShard.
 	SearchWorkers int
+	// LoadIdleTimeout reaps an inbound snapshot-streaming session whose
+	// sender stalls between chunks (default rpc.DefaultStreamIdleTimeout).
+	// A reaped session never disturbs the serving shard.
+	LoadIdleTimeout time.Duration
 }
 
 // Searcher is a running searcher node.
@@ -66,9 +92,14 @@ type Searcher struct {
 	onApplied     AppliedFunc
 	searchWorkers int
 
-	rtLatency metrics.Histogram
-	applied   metrics.Counter
-	searches  metrics.Counter
+	loads *rpc.StreamServer
+
+	rtLatency     metrics.Histogram
+	applied       metrics.Counter
+	searches      metrics.Counter
+	dropped       metrics.Counter // undecodable (poison) queue messages
+	applyErrors   metrics.Counter // decoded updates indexer.Apply rejected
+	snapshotLoads metrics.Counter // snapshots installed by push (both paths)
 
 	addr   string
 	done   chan struct{}
@@ -107,6 +138,8 @@ func New(cfg Config) (*Searcher, error) {
 	s.srv.Handle(search.MethodStats, s.handleStats)
 	s.srv.Handle(search.MethodLoadIndex, s.handleLoadIndex)
 	s.srv.Handle(search.MethodPing, func([]byte) ([]byte, error) { return nil, nil })
+	s.loads = rpc.NewStreamServer(s.openSnapshotSink, cfg.LoadIdleTimeout, 0)
+	s.loads.Register(s.srv, search.LoadIndexStream)
 	addr, err := s.srv.Listen(cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -152,6 +185,7 @@ func (s *Searcher) Close() {
 	}
 	close(s.done)
 	s.wg.Wait()
+	s.loads.Close()
 	s.srv.Close()
 }
 
@@ -174,13 +208,24 @@ func (s *Searcher) handleSearch(payload []byte) ([]byte, error) {
 
 // Stats is the searcher's stats payload (JSON over MethodStats).
 type Stats struct {
-	Partition     core.PartitionID `json:"partition"`
-	Index         index.Stats      `json:"index"`
-	Searches      int64            `json:"searches"`
-	Applied       int64            `json:"applied"`
-	RTAvgMicros   int64            `json:"rt_avg_micros"`
-	RTP99Micros   int64            `json:"rt_p99_micros"`
-	QueueConsumed bool             `json:"queue_consumed"`
+	Partition core.PartitionID `json:"partition"`
+	Index     index.Stats      `json:"index"`
+	Searches  int64            `json:"searches"`
+	Applied   int64            `json:"applied"`
+	// Dropped counts queue messages discarded because they would not
+	// decode (poison messages).
+	Dropped int64 `json:"dropped"`
+	// ApplyErrors counts decoded updates the indexer rejected (e.g. an
+	// addition whose image could not be resolved).
+	ApplyErrors int64 `json:"apply_errors"`
+	// SnapshotLoads counts pushed snapshots installed (single-frame or
+	// streamed); LoadSessions is the number of chunked transfers currently
+	// in flight.
+	SnapshotLoads int64 `json:"snapshot_loads"`
+	LoadSessions  int   `json:"load_sessions"`
+	RTAvgMicros   int64 `json:"rt_avg_micros"`
+	RTP99Micros   int64 `json:"rt_p99_micros"`
+	QueueConsumed bool  `json:"queue_consumed"`
 }
 
 func (s *Searcher) handleStats([]byte) ([]byte, error) {
@@ -189,6 +234,10 @@ func (s *Searcher) handleStats([]byte) ([]byte, error) {
 		Index:         s.shard.Load().Stats(),
 		Searches:      s.searches.Value(),
 		Applied:       s.applied.Value(),
+		Dropped:       s.dropped.Value(),
+		ApplyErrors:   s.applyErrors.Value(),
+		SnapshotLoads: s.snapshotLoads.Value(),
+		LoadSessions:  s.loads.Sessions(),
 		RTAvgMicros:   s.rtLatency.Mean().Microseconds(),
 		RTP99Micros:   s.rtLatency.Percentile(99).Microseconds(),
 		QueueConsumed: s.queue != nil,
@@ -197,9 +246,11 @@ func (s *Searcher) handleStats([]byte) ([]byte, error) {
 }
 
 // handleLoadIndex receives a full shard snapshot (the output of the weekly
-// full indexing, §2.2), materialises it into a fresh shard with the same
-// configuration, and hot-swaps it in. In-flight searches finish on the old
-// shard; the real-time loop applies subsequent events to the new one.
+// full indexing, §2.2) as one frame, materialises it into a fresh shard
+// with the same configuration, and hot-swaps it in. In-flight searches
+// finish on the old shard; the real-time loop applies subsequent events to
+// the new one. Snapshots too large for one frame arrive through the
+// chunked session handlers instead (search.LoadIndexStream).
 func (s *Searcher) handleLoadIndex(payload []byte) ([]byte, error) {
 	fresh, err := index.New(s.shard.Load().Config())
 	if err != nil {
@@ -209,23 +260,118 @@ func (s *Searcher) handleLoadIndex(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("searcher: load pushed index: %w", err)
 	}
 	s.SwapShard(fresh)
+	s.snapshotLoads.Inc()
 	return nil, nil
 }
 
-// PushSnapshot serialises shard and installs it on the searcher at addr —
-// the distribution step of the periodic full indexing cycle.
-func PushSnapshot(ctx context.Context, addr string, shard *index.Shard) error {
-	var buf bytes.Buffer
-	if err := shard.WriteSnapshot(&buf); err != nil {
-		return err
+// snapshotSink materialises one streamed snapshot. Chunk bytes are piped
+// into index.LoadSnapshot running in its own goroutine, so the shard is
+// decoded incrementally while chunks are still arriving and the receiver
+// never buffers more than the in-flight chunk. The fresh shard replaces
+// the serving one only on a verified Commit; Abort discards it.
+type snapshotSink struct {
+	s     *Searcher
+	fresh *index.Shard
+	pw    *io.PipeWriter
+	done  chan error
+}
+
+// errSnapshotAborted poisons the pipe when a transfer is torn down.
+var errSnapshotAborted = errors.New("searcher: snapshot transfer aborted")
+
+// openSnapshotSink starts a streamed load session (rpc.StreamServer open
+// hook).
+func (s *Searcher) openSnapshotSink() (rpc.StreamSink, error) {
+	fresh, err := index.New(s.shard.Load().Config())
+	if err != nil {
+		return nil, err
 	}
+	pr, pw := io.Pipe()
+	k := &snapshotSink{s: s, fresh: fresh, pw: pw, done: make(chan error, 1)}
+	go func() {
+		err := fresh.LoadSnapshot(pr)
+		// Stop accepting pipe writes once the decoder is done (success or
+		// failure), so a chunk write after a decode error fails fast instead
+		// of blocking — and carries the decoder's own error back to the
+		// sender when there is one.
+		cause := err
+		if cause == nil {
+			cause = errSnapshotAborted
+		}
+		pr.CloseWithError(cause)
+		k.done <- err
+	}()
+	return k, nil
+}
+
+// Write implements rpc.StreamSink: feed one verified chunk to the decoder.
+func (k *snapshotSink) Write(p []byte) (int, error) { return k.pw.Write(p) }
+
+// Commit implements rpc.StreamSink: the stream is complete and
+// totals-verified — finish decoding and hot-swap the shard in.
+func (k *snapshotSink) Commit() error {
+	_ = k.pw.Close()
+	if err := <-k.done; err != nil {
+		return fmt.Errorf("searcher: load pushed index: %w", err)
+	}
+	k.s.SwapShard(k.fresh)
+	k.s.snapshotLoads.Inc()
+	return nil
+}
+
+// Abort implements rpc.StreamSink: discard the partial shard; the serving
+// shard is untouched.
+func (k *snapshotSink) Abort() {
+	_ = k.pw.CloseWithError(errSnapshotAborted)
+	<-k.done // wait the decoder goroutine out
+}
+
+// PushOptions tunes PushSnapshot.
+type PushOptions struct {
+	// ChunkSize bounds each streamed chunk (default rpc.DefaultChunkSize,
+	// capped at rpc.MaxChunkData). Snapshots that fit inside a single chunk
+	// skip the session entirely and go over the legacy single-frame
+	// MethodLoadIndex.
+	ChunkSize int
+}
+
+// PushSnapshot serialises shard and installs it on the searcher at addr —
+// the distribution step of the periodic full indexing cycle — with default
+// options.
+func PushSnapshot(ctx context.Context, addr string, shard *index.Shard) error {
+	return PushSnapshotWith(ctx, addr, shard, PushOptions{})
+}
+
+// PushSnapshotWith streams shard's snapshot to the searcher at addr in
+// checksummed chunks. The snapshot is serialised straight into the chunked
+// sender, so peak sender memory is O(chunk size) regardless of shard size;
+// snapshots no larger than one chunk fall back to the single-frame path.
+// On any mid-stream failure the session is aborted and the receiver keeps
+// serving its current shard.
+func PushSnapshotWith(ctx context.Context, addr string, shard *index.Shard, opts PushOptions) error {
 	c, err := rpc.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	_, err = c.Call(ctx, search.MethodLoadIndex, buf.Bytes())
-	return err
+	sender := rpc.NewStreamSender(ctx, c, search.LoadIndexStream, opts.ChunkSize)
+	if err := shard.WriteSnapshot(sender); err != nil {
+		sender.Abort()
+		return fmt.Errorf("searcher: push snapshot: %w", err)
+	}
+	streamed, err := sender.Finish()
+	if err != nil {
+		// A failed commit already tore the session down server-side; Abort
+		// covers failures before the commit was processed.
+		sender.Abort()
+		return fmt.Errorf("searcher: push snapshot: %w", err)
+	}
+	if !streamed {
+		if _, err := c.Call(ctx, search.MethodLoadIndex, sender.Buffered()); err != nil {
+			return fmt.Errorf("searcher: push snapshot: %w", err)
+		}
+	}
+	return nil
 }
 
 // realtimeLoop is the Fig. 4 pipeline: receive each update message and
@@ -251,10 +397,14 @@ func (s *Searcher) realtimeLoop(consumer *mq.Consumer) {
 func (s *Searcher) applyOne(m mq.Message) {
 	u, err := msg.Decode(m.Payload)
 	if err != nil {
-		return // poison message: skip (logged via stats in a fuller system)
+		// Poison message: skip it, but leave a trace — silent drops made
+		// queue corruption invisible (Stats.Dropped).
+		s.dropped.Inc()
+		return
 	}
 	kind, reused, err := indexer.Apply(s.shard.Load(), s.res, u)
 	if err != nil {
+		s.applyErrors.Inc()
 		return
 	}
 	lat := time.Since(m.Enqueued)
@@ -270,6 +420,18 @@ func (s *Searcher) RTLatency() *metrics.Histogram { return &s.rtLatency }
 
 // Applied returns the number of updates applied.
 func (s *Searcher) Applied() int64 { return s.applied.Value() }
+
+// Dropped returns the number of undecodable queue messages discarded.
+func (s *Searcher) Dropped() int64 { return s.dropped.Value() }
+
+// ApplyErrors returns the number of decoded updates the indexer rejected.
+func (s *Searcher) ApplyErrors() int64 { return s.applyErrors.Value() }
+
+// SnapshotLoads returns the number of pushed snapshots installed.
+func (s *Searcher) SnapshotLoads() int64 { return s.snapshotLoads.Value() }
+
+// LoadSessions returns the number of chunked snapshot transfers in flight.
+func (s *Searcher) LoadSessions() int { return s.loads.Sessions() }
 
 // Ping checks liveness over the network (used by tests).
 func Ping(ctx context.Context, addr string) error {

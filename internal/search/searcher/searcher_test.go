@@ -352,6 +352,66 @@ func TestPoisonMessageSkipped(t *testing.T) {
 	}
 }
 
+// TestDroppedAndApplyErrorsCounted: poison messages and indexer failures
+// must leave a trace instead of vanishing silently.
+func TestDroppedAndApplyErrorsCounted(t *testing.T) {
+	f := newFixture(t, 3)
+	s, err := New(Config{Shard: f.shard, Resolver: f.res, Queue: f.queue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// An undecodable payload: dropped.
+	if _, err := f.queue.Produce(indexer.UpdatesTopic, 0, []byte("not an update")); err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed addition whose image no store can resolve: apply error.
+	if _, err := indexer.RouteUpdate(f.queue, &msg.ProductUpdate{
+		Type:           msg.TypeAddProduct,
+		ProductID:      987654,
+		ImageURLs:      []string{"jfs://no-such-image.jpg"},
+		EventTimeNanos: time.Now().UnixNano(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A valid deletion afterwards proves the loop survived both.
+	p := &f.cat.Products[0]
+	if _, err := indexer.RouteUpdate(f.queue, &msg.ProductUpdate{
+		Type: msg.TypeRemoveProduct, ProductID: p.ID, ImageURLs: p.ImageURLs[:1],
+		EventTimeNanos: time.Now().UnixNano(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Dropped() < 1 || s.ApplyErrors() < 1 || s.Applied() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("counters stalled: dropped=%d applyErrors=%d applied=%d",
+				s.Dropped(), s.ApplyErrors(), s.Applied())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Both surface in the stats payload.
+	c, err := rpc.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.Call(context.Background(), search.MethodStats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 1 || st.ApplyErrors != 1 {
+		t.Fatalf("stats = dropped %d / apply_errors %d, want 1/1", st.Dropped, st.ApplyErrors)
+	}
+}
+
 func TestManySearchersShareNothing(t *testing.T) {
 	f := newFixture(t, 6)
 	var nodes []*Searcher
