@@ -7,10 +7,15 @@
 //	jdvs-bench -experiment fig11  [-events N] [-day 12s]
 //	jdvs-bench -experiment fig12  [-duration 3s] [-products N] [-rate N]
 //	jdvs-bench -experiment fig13  [-duration 2s] [-products N]
+//	jdvs-bench -experiment hedge  [-duration 3s] [-replicas 2] [-slow-replica-ms 200] [-slow-replica-frac 0.2]
 //	jdvs-bench -experiment all
 //
 // Scale flags default to laptop-friendly sizes; raise -products /-events
 // for a full-size run (the paper's testbed indexes 100,000 images).
+//
+// The hedge experiment injects -slow-replica-ms of extra latency into
+// -slow-replica-frac of the last replica's searches on every partition and
+// compares full-stack query tails with broker hedging off and on.
 package main
 
 import (
@@ -39,6 +44,9 @@ func run() error {
 		partitions = flag.Int("partitions", 0, "searcher partitions (0 = experiment default)")
 		rate       = flag.Int("rate", 0, "fig12 concurrent update load in events/sec (0 = default 2000)")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		replicas   = flag.Int("replicas", 0, "hedge: searcher replicas per partition (0 = default 2)")
+		slowMS     = flag.Int("slow-replica-ms", 0, "hedge: extra latency injected into the slow replica, in ms (0 = default 200)")
+		slowFrac   = flag.Float64("slow-replica-frac", 0, "hedge: fraction of the slow replica's searches delayed (0 = default 0.2)")
 	)
 	flag.Parse()
 
@@ -80,14 +88,28 @@ func run() error {
 				return err
 			}
 			fmt.Println(res.Render())
+		case "hedge":
+			res, err := experiments.RunHedge(experiments.HedgeConfig{
+				Duration:     *duration,
+				Products:     *products,
+				Partitions:   *partitions,
+				Replicas:     *replicas,
+				SlowDelay:    time.Duration(*slowMS) * time.Millisecond,
+				SlowFraction: *slowFrac,
+				Seed:         *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
 		default:
-			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, all)", name)
+			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, hedge, all)", name)
 		}
 		return nil
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig11", "fig12", "fig13"} {
+		for _, name := range []string{"table1", "fig11", "fig12", "fig13", "hedge"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -1,0 +1,181 @@
+// Command jdvs-benchjson converts `go test -bench` output into a compact
+// JSON document the CI bench job publishes as an artifact (BENCH_*.json),
+// so the performance trajectory of the hot paths — broker fan-out,
+// snapshot push, shard scan — accumulates machine-readable data points
+// per commit instead of log text.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' -count=5 ./internal/... | jdvs-benchjson -out BENCH.json
+//
+// Repeated runs of one benchmark (-count=N) are aggregated benchstat-style:
+// per metric unit (ns/op, B/op, allocs/op, and any b.ReportMetric unit like
+// p99-ns or hedge-frac) the mean/min/max and the raw samples are kept.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric aggregates one unit's samples across repeated runs.
+type Metric struct {
+	Mean    float64   `json:"mean"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Samples []float64 `json:"samples"`
+}
+
+// Benchmark is one benchmark's aggregated result. Package comes from the
+// preceding "pkg:" header, so one file holding several packages' bench
+// output (the CI job pipes multiple ./... packages into one artifact)
+// keeps same-named benchmarks apart.
+type Benchmark struct {
+	Package string `json:"package,omitempty"`
+	Name    string `json:"name"`
+	// Runs is how many times the benchmark ran (-count), Iterations the
+	// summed b.N across runs.
+	Runs       int                `json:"runs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]*Metric `json:"metrics"`
+}
+
+// Document is the artifact payload.
+type Document struct {
+	GoOS       string       `json:"goos,omitempty"`
+	GoArch     string       `json:"goarch,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output to read ('-' = stdin)")
+	out := flag.String("out", "-", "JSON file to write ('-' = stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(blob)
+	} else {
+		err = os.WriteFile(*out, blob, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jdvs-benchjson:", err)
+	os.Exit(1)
+}
+
+// cpuSuffix strips the trailing -GOMAXPROCS marker go test appends to
+// benchmark names (Foo/case=x-8 → Foo/case=x).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and aggregates it.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	byName := make(map[string]*Benchmark)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")
+		key := pkg + "\x00" + name
+		b := byName[key]
+		if b == nil {
+			b = &Benchmark{Package: pkg, Name: name, Metrics: make(map[string]*Metric)}
+			byName[key] = b
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+		b.Runs++
+		b.Iterations += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			m := b.Metrics[unit]
+			if m == nil {
+				m = &Metric{Min: v, Max: v}
+				b.Metrics[unit] = m
+			}
+			m.Samples = append(m.Samples, v)
+			if v < m.Min {
+				m.Min = v
+			}
+			if v > m.Max {
+				m.Max = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range doc.Benchmarks {
+		for _, m := range b.Metrics {
+			sum := 0.0
+			for _, v := range m.Samples {
+				sum += v
+			}
+			m.Mean = sum / float64(len(m.Samples))
+		}
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		if doc.Benchmarks[i].Package != doc.Benchmarks[j].Package {
+			return doc.Benchmarks[i].Package < doc.Benchmarks[j].Package
+		}
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	return doc, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: jdvs/internal/search/broker
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBrokerTailLatency/hedged=false-8         	     100	  20109815 ns/op	         0 hedge-frac	     41234 p50-ns	 200748139 p99-ns	    3202 B/op	      51 allocs/op
+BenchmarkBrokerTailLatency/hedged=false-8         	     110	  18000000 ns/op	         0 hedge-frac	     40000 p50-ns	 190000000 p99-ns	    3100 B/op	      49 allocs/op
+BenchmarkBrokerTailLatency/hedged=true-8          	    8354	    150134 ns/op	         0.09931 hedge-frac	     28611 p50-ns	   1313092 p99-ns	    3581 B/op	      55 allocs/op
+PASS
+ok  	jdvs/internal/search/broker	9.322s
+goos: linux
+goarch: amd64
+pkg: jdvs/internal/index
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBrokerTailLatency/hedged=false-8         	      50	    999999 ns/op
+PASS
+ok  	jdvs/internal/index	1.000s
+`
+
+func TestParseAggregates(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" {
+		t.Fatalf("header = %+v", doc)
+	}
+	if doc.CPU == "" {
+		t.Fatal("cpu line not captured")
+	}
+	// A same-named benchmark in a second package stays its own entry.
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	// Sorted by package then name; the -8 cpu suffix and the Benchmark
+	// prefix are stripped.
+	other := doc.Benchmarks[0]
+	if other.Package != "jdvs/internal/index" || other.Runs != 1 || other.Metrics["ns/op"].Mean != 999999 {
+		t.Fatalf("cross-package benchmark = %+v", other)
+	}
+	unhedged := doc.Benchmarks[1]
+	if unhedged.Name != "BrokerTailLatency/hedged=false" {
+		t.Fatalf("name = %q", unhedged.Name)
+	}
+	if unhedged.Package != "jdvs/internal/search/broker" {
+		t.Fatalf("package = %q", unhedged.Package)
+	}
+	if unhedged.Runs != 2 || unhedged.Iterations != 210 {
+		t.Fatalf("runs/iters = %d/%d, want 2/210", unhedged.Runs, unhedged.Iterations)
+	}
+	ns := unhedged.Metrics["ns/op"]
+	if ns == nil || len(ns.Samples) != 2 {
+		t.Fatalf("ns/op = %+v", ns)
+	}
+	if ns.Min != 18000000 || ns.Max != 20109815 {
+		t.Fatalf("ns/op min/max = %v/%v", ns.Min, ns.Max)
+	}
+	if want := (20109815.0 + 18000000.0) / 2; ns.Mean != want {
+		t.Fatalf("ns/op mean = %v, want %v", ns.Mean, want)
+	}
+	for _, unit := range []string{"B/op", "allocs/op", "p99-ns", "hedge-frac"} {
+		if unhedged.Metrics[unit] == nil {
+			t.Fatalf("missing metric %q", unit)
+		}
+	}
+	hedged := doc.Benchmarks[2]
+	if hedged.Runs != 1 || hedged.Metrics["hedge-frac"].Mean != 0.09931 {
+		t.Fatalf("hedged = %+v", hedged)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := Parse(strings.NewReader("PASS\nok x 1s\n--- BENCH: oddline\nBenchmarkBroken abc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %+v", doc.Benchmarks)
+	}
+}
+
+func TestParseRejectsCorruptValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 10 zz ns/op\n")); err == nil {
+		t.Fatal("corrupt value accepted")
+	}
+}

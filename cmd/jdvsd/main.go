@@ -53,6 +53,9 @@ func run() error {
 		fseed     = flag.Int64("feature-seed", 42, "blender: CNN weight seed (must match the indexer)")
 		workers   = flag.Int("search-workers", 0, "searcher: goroutines scanning probed lists per query (0 = GOMAXPROCS-derived, 1 = serial)")
 		loadIdle  = flag.Duration("load-idle-timeout", 0, "searcher: abort an inbound snapshot stream idle longer than this (0 = default)")
+		hedgeQ    = flag.Float64("hedge-quantile", 0, "broker: latency percentile that triggers a hedged replica request (0 = default 95, negative disables)")
+		hedgeMin  = flag.Duration("hedge-min-delay", 0, "broker: floor on the hedge delay (0 = default 1ms)")
+		hedgeFrac = flag.Float64("hedge-max-fraction", 0, "broker: hedge budget as a fraction of query volume (0 = default 0.1)")
 	)
 	flag.Parse()
 
@@ -109,7 +112,13 @@ func run() error {
 				groups = append(groups, replicas)
 			}
 		}
-		node, err := broker.New(broker.Config{PartitionReplicas: groups, Addr: *addr})
+		node, err := broker.New(broker.Config{
+			PartitionReplicas: groups,
+			Addr:              *addr,
+			HedgeQuantile:     *hedgeQ,
+			HedgeMinDelay:     *hedgeMin,
+			HedgeMaxFraction:  *hedgeFrac,
+		})
 		if err != nil {
 			return err
 		}

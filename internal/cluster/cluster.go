@@ -72,6 +72,28 @@ type Config struct {
 	// chunked sender pays one round trip per chunk.
 	PushTimeout time.Duration
 
+	// HedgeQuantile, HedgeMinDelay and HedgeMaxFraction tune the brokers'
+	// hedged replica requests (broker.Config): once a partition group's
+	// observed HedgeQuantile latency elapses without an answer, the query
+	// is hedged to the next replica, budgeted to HedgeMaxFraction of query
+	// volume. Zero values take the broker defaults (p95 / 1ms / 0.1);
+	// HedgeQuantile < 0 disables hedging. HedgeWarmup (attempts before a
+	// group starts hedging; broker default 50) is exposed mainly so tests
+	// and demos converge quickly.
+	HedgeQuantile    float64
+	HedgeMinDelay    time.Duration
+	HedgeMaxFraction float64
+	HedgeWarmup      int
+
+	// SlowReplicaDelay and SlowReplicaFraction inject artificial latency
+	// into the LAST replica of every partition (searcher.Config
+	// SearchDelay/SearchDelayFraction): roughly SlowReplicaFraction of
+	// that replica's searches sleep SlowReplicaDelay. A fault injector for
+	// demonstrating hedging end-to-end (jdvs-bench -slow-replica-ms); zero
+	// disables. With Replicas == 1 the only replica is the slow one.
+	SlowReplicaDelay    time.Duration
+	SlowReplicaFraction float64
+
 	// FeatureSeed seeds the shared CNN so all tiers embed identically.
 	FeatureSeed int64
 	// ExtractWork is the simulated CNN cost factor (extra forward passes
@@ -226,14 +248,21 @@ func (c *Cluster) startTiers(shards []*index.Shard) error {
 			if r == 0 {
 				onApplied = cfg.OnApplied
 			}
-			s, err := searcher.New(searcher.Config{
+			scfg := searcher.Config{
 				Partition:   core.PartitionID(p),
 				Shard:       shard,
 				Resolver:    c.resolver,
 				Queue:       queue,
 				StartOffset: startOffset,
 				OnApplied:   onApplied,
-			})
+			}
+			if r == cfg.Replicas-1 {
+				// Fault injection targets the last replica of each
+				// partition (the only one when Replicas == 1).
+				scfg.SearchDelay = cfg.SlowReplicaDelay
+				scfg.SearchDelayFraction = cfg.SlowReplicaFraction
+			}
+			s, err := searcher.New(scfg)
 			if err != nil {
 				return fmt.Errorf("cluster: start searcher p%d r%d: %w", p, r, err)
 			}
@@ -251,7 +280,13 @@ func (c *Cluster) startTiers(shards []*index.Shard) error {
 			}
 			groups = append(groups, replicas)
 		}
-		b, err := broker.New(broker.Config{PartitionReplicas: groups})
+		b, err := broker.New(broker.Config{
+			PartitionReplicas: groups,
+			HedgeQuantile:     cfg.HedgeQuantile,
+			HedgeMinDelay:     cfg.HedgeMinDelay,
+			HedgeMaxFraction:  cfg.HedgeMaxFraction,
+			HedgeWarmup:       cfg.HedgeWarmup,
+		})
 		if err != nil {
 			return fmt.Errorf("cluster: start broker %d: %w", j, err)
 		}

@@ -267,3 +267,89 @@ func TestBrokerPartitionAssignmentCoversAll(t *testing.T) {
 		t.Fatalf("hits from %d partitions, want 5 (broker assignment gap)", len(seen))
 	}
 }
+
+// TestHedgingThroughFullStack runs a replicated cluster whose injected
+// slow replica (SlowReplicaDelay on the last replica of each partition)
+// delays every one of its searches, and checks that the brokers' hedged
+// requests keep full-stack query latency at the fast replica's level once
+// the latency windows are warm — the end-to-end version of the broker
+// package's hedge tests.
+func TestHedgingThroughFullStack(t *testing.T) {
+	cfg := Config{
+		Partitions: 2,
+		Replicas:   2,
+		Brokers:    1,
+		Blenders:   1,
+		NLists:     16,
+		Catalog:    catalog.Config{Products: 80, Categories: 4, Seed: 11},
+		// The slow replica answers every search 150ms late; with a 50/50
+		// fast/slow sample mix, trigger at p40 — safely inside the fast
+		// mass even if a window snapshot happens to hold a few more slow
+		// samples than fast ones (the production default p95 targets rare
+		// tails, not a half-slow fixture).
+		SlowReplicaDelay:    150 * time.Millisecond,
+		SlowReplicaFraction: 1,
+		HedgeQuantile:       40,
+		HedgeMinDelay:       2 * time.Millisecond,
+		HedgeMaxFraction:    1,
+		HedgeWarmup:         8,
+	}
+	c := startTestCluster(t, cfg)
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	query := func(i int) time.Duration {
+		target := &c.Catalog.Products[i%len(c.Catalog.Products)]
+		startAt := time.Now()
+		resp, err := cl.Query(ctx, &core.QueryRequest{
+			ImageBlob:     c.Catalog.QueryImage(target).Encode(),
+			TopK:          5,
+			CategoryScope: core.AllCategories,
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(resp.Hits) == 0 {
+			t.Fatalf("query %d returned no hits", i)
+		}
+		return time.Since(startAt)
+	}
+
+	// Warm every partition group past its window refresh interval.
+	for i := 0; i < 40; i++ {
+		query(i)
+	}
+	// The 100ms threshold sits far above fast-path full-stack latency even
+	// under the race detector's slowdown, and well below the 150ms
+	// injected mode.
+	slowCount := 0
+	for i := 0; i < 20; i++ {
+		if query(40+i) > 100*time.Millisecond {
+			slowCount++
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hedges, wins int64
+	for _, br := range st.Brokers {
+		hedges += br.Hedges
+		wins += br.HedgeWins
+	}
+	if hedges == 0 || wins == 0 {
+		t.Fatalf("no hedging through the full stack: %s", st)
+	}
+	// Without hedging, every query whose round-robin primary is the slow
+	// replica (half of them, per partition) would take 150ms+. With
+	// hedging, the occasional straggler is tolerated but the pattern must
+	// be broken.
+	if slowCount > 5 {
+		t.Fatalf("%d/20 post-warmup queries still ran at slow-replica latency; hedging ineffective\n%s", slowCount, st)
+	}
+}

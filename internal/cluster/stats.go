@@ -50,8 +50,12 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, "blender %d: %d queries, %d broker failures\n", i, bl.Queries, bl.Failures)
 	}
 	for i, br := range s.Brokers {
-		fmt.Fprintf(&b, "broker %d: %d queries over %d partitions, %d searcher failures\n",
-			i, br.Queries, br.Partitions, br.Failures)
+		fmt.Fprintf(&b, "broker %d: %d queries over %d partitions, %d searcher failures, %d hedges (%d wins, %d cancels)\n",
+			i, br.Queries, br.Partitions, br.Failures, br.Hedges, br.HedgeWins, br.HedgeCancels)
+		for _, g := range br.Groups {
+			fmt.Fprintf(&b, "  group %d: %d replicas, %d samples, p50 %dµs p95 %dµs p99 %dµs\n",
+				g.Partition, g.Replicas, g.Samples, g.P50Micros, g.P95Micros, g.P99Micros)
+		}
 	}
 	for _, st := range s.Searchers {
 		fmt.Fprintf(&b, "searcher p%d: %d images (%d valid), %d searches, %d rt-updates (avg %dµs, p99 %dµs)\n",

@@ -160,3 +160,47 @@ func TestRunFig13SmallScale(t *testing.T) {
 		}
 	}
 }
+
+func TestRunHedgeSmallScale(t *testing.T) {
+	res, err := RunHedge(HedgeConfig{
+		Duration:     800 * time.Millisecond,
+		Partitions:   2,
+		Replicas:     2,
+		Brokers:      1,
+		Blenders:     1,
+		Products:     300,
+		Concurrency:  2,
+		SlowDelay:    80 * time.Millisecond,
+		SlowFraction: 0.2,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatalf("RunHedge: %v", err)
+	}
+	if res.Plain.QPS <= 0 || res.Hedged.QPS <= 0 {
+		t.Fatalf("no load measured: %+v", res)
+	}
+	if res.Hedged.Hedges == 0 || res.Hedged.Wins == 0 {
+		t.Fatalf("hedged side never hedged: %+v", res.Hedged)
+	}
+	if res.Plain.Hedges != 0 {
+		t.Fatalf("plain side hedged %d times with hedging disabled", res.Plain.Hedges)
+	}
+	// The injected 80ms mode must dominate the plain tail. The hedged
+	// side's extreme percentiles still contain its own pre-warm-up
+	// stragglers (the window needs samples before it can hedge), so the
+	// robust improvement signal at this tiny scale is the mean, which the
+	// ~20%-slow plain run cannot match once hedging kicks in.
+	if res.Plain.P99 < 60*time.Millisecond {
+		t.Fatalf("plain p99 %v does not show the injected slow mode", res.Plain.P99)
+	}
+	if res.Hedged.Mean >= res.Plain.Mean*3/4 {
+		t.Fatalf("hedging did not improve mean latency: plain %v, hedged %v", res.Plain.Mean, res.Hedged.Mean)
+	}
+	out := res.Render()
+	for _, want := range []string{"no hedging", "hedge@p", "win rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowQuantileExact(t *testing.T) {
+	w := NewWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.Quantile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := w.Quantile(95); got != 95*time.Millisecond {
+		t.Fatalf("p95 = %v, want 95ms", got)
+	}
+	if got := w.Quantile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+	qs := w.Quantiles(50, 95, 99)
+	if qs[0] != 50*time.Millisecond || qs[1] != 95*time.Millisecond || qs[2] != 99*time.Millisecond {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+}
+
+func TestWindowEmptyAndPartial(t *testing.T) {
+	w := NewWindow(64)
+	if w.Quantile(99) != 0 {
+		t.Fatal("empty window quantile not zero")
+	}
+	if w.Count() != 0 {
+		t.Fatal("empty window count not zero")
+	}
+	// Partial fill: quantiles read only the filled slots, not the zeroed
+	// remainder of the ring.
+	for i := 0; i < 10; i++ {
+		w.Record(7 * time.Millisecond)
+	}
+	if got := w.Quantile(50); got != 7*time.Millisecond {
+		t.Fatalf("partial-fill p50 = %v, want 7ms", got)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(16)
+	for i := 0; i < 16; i++ {
+		w.Record(time.Second) // old regime
+	}
+	for i := 0; i < 16; i++ {
+		w.Record(time.Millisecond) // new regime overwrites the ring
+	}
+	if got := w.Quantile(99); got != time.Millisecond {
+		t.Fatalf("window did not slide: p99 = %v, want 1ms", got)
+	}
+}
+
+func TestWindowTrackedRefreshes(t *testing.T) {
+	w := NewWindow(128, 95)
+	if got := w.Tracked(0); got != 0 {
+		t.Fatalf("tracked quantile before any refresh = %v, want 0 (warm-up)", got)
+	}
+	// Recording past the refresh interval must populate the cache.
+	for i := 0; i < windowRefreshEvery*2; i++ {
+		w.Record(5 * time.Millisecond)
+	}
+	if got := w.Tracked(0); got != 5*time.Millisecond {
+		t.Fatalf("tracked p95 = %v, want 5ms", got)
+	}
+	// Out-of-range indexes are inert.
+	if w.Tracked(-1) != 0 || w.Tracked(1) != 0 {
+		t.Fatal("out-of-range Tracked not zero")
+	}
+}
+
+func TestWindowDefaultSizeAndNegativeClamp(t *testing.T) {
+	w := NewWindow(0)
+	if len(w.ring) != DefaultWindowSize {
+		t.Fatalf("default size = %d, want %d", len(w.ring), DefaultWindowSize)
+	}
+	w.Record(-time.Second)
+	if got := w.Quantile(100); got != 0 {
+		t.Fatalf("negative sample recorded as %v, want 0", got)
+	}
+}
+
+// TestWindowConcurrent hammers Record/Tracked/Quantile from many
+// goroutines; run under -race this is the lock-cheapness contract.
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(256, 50, 99)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				w.Record(time.Duration(g*1000+i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = w.Tracked(0)
+					_ = w.Quantile(95)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Count() != 16000 {
+		t.Fatalf("count = %d, want 16000", w.Count())
+	}
+	if w.Tracked(1) == 0 {
+		t.Fatal("tracked p99 never refreshed")
+	}
+}

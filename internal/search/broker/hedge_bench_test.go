@@ -1,0 +1,139 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jdvs/internal/core"
+	"jdvs/internal/metrics"
+	"jdvs/internal/rpc"
+	"jdvs/internal/search"
+)
+
+// benchReplica is a canned-response searcher that injects extra latency
+// into a deterministic fraction of its requests (every slowEvery-th call
+// sleeps slowDelay) — the fault model of the hedging acceptance criterion:
+// one replica +200ms on 20% of requests.
+type benchReplica struct {
+	srv       *rpc.Server
+	addr      string
+	resp      []byte
+	calls     atomic.Int64
+	slowEvery int64
+	slowDelay time.Duration
+}
+
+func newBenchReplica(b *testing.B, slowEvery int64, slowDelay time.Duration) *benchReplica {
+	b.Helper()
+	r := &benchReplica{
+		slowEvery: slowEvery,
+		slowDelay: slowDelay,
+		resp: core.EncodeSearchResponse(&core.SearchResponse{
+			Hits:   []core.Hit{{Dist: 0.5, ProductID: 7, URL: "bench"}},
+			Probed: 1,
+		}),
+	}
+	r.srv = rpc.NewServer()
+	r.srv.Handle(search.MethodSearch, func([]byte) ([]byte, error) {
+		if r.slowEvery > 0 && r.calls.Add(1)%r.slowEvery == 0 {
+			time.Sleep(r.slowDelay)
+		}
+		return r.resp, nil
+	})
+	addr, err := r.srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.addr = addr
+	b.Cleanup(func() { r.srv.Close() })
+	return r
+}
+
+// BenchmarkBrokerTailLatency measures the broker's per-query latency
+// distribution against a two-replica partition where one replica is +200ms
+// on 20% of its requests. The hedged=false/true pair is the tail
+// comparison the CI bench artifact tracks: hedging should cut p99 by far
+// more than half while keeping hedge volume under HedgeMaxFraction
+// (reported as the hedge-frac metric).
+func BenchmarkBrokerTailLatency(b *testing.B) {
+	const (
+		slowDelay = 200 * time.Millisecond
+		slowEvery = 5 // 20% of the slow replica's requests
+	)
+	for _, hedged := range []bool{false, true} {
+		b.Run(fmt.Sprintf("hedged=%v", hedged), func(b *testing.B) {
+			slow := newBenchReplica(b, slowEvery, slowDelay)
+			fast := newBenchReplica(b, 0, 0)
+			cfg := Config{
+				PartitionReplicas: [][]string{{slow.addr, fast.addr}},
+				// Round-robin makes the slow replica primary for half the
+				// queries, so ~10% of all attempts carry the +200ms mode —
+				// above a p95 trigger's blind spot. Trigger at p85, squarely
+				// inside the fast mass; production defaults suit the <5%
+				// tails hedging normally targets.
+				HedgeQuantile:    85,
+				HedgeMinDelay:    time.Millisecond,
+				HedgeMaxFraction: 0.25,
+				HedgeWindow:      256,
+			}
+			if !hedged {
+				cfg.HedgeQuantile = -1
+			}
+			br, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer br.Close()
+
+			c, err := rpc.Dial(br.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			payload := core.EncodeSearchRequest(&core.SearchRequest{
+				Feature: []float32{1, 2, 3, 4}, TopK: 3, NProbe: 4, Category: -1,
+			})
+			query := func() time.Duration {
+				startAt := time.Now()
+				if _, err := c.Call(context.Background(), search.MethodSearch, payload); err != nil {
+					b.Fatal(err)
+				}
+				return time.Since(startAt)
+			}
+			// Warm the latency window past the hedge warm-up (default 50).
+			for i := 0; i < 64; i++ {
+				query()
+			}
+
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lat = append(lat, query())
+			}
+			b.StopTimer()
+
+			qs := metrics.Quantiles(lat, 50, 99)
+			b.ReportMetric(float64(qs[0].Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(qs[1].Nanoseconds()), "p99-ns")
+
+			raw, err := c.Call(context.Background(), search.MethodStats, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st Stats
+			if err := json.Unmarshal(raw, &st); err != nil {
+				b.Fatal(err)
+			}
+			if st.Queries > 0 {
+				b.ReportMetric(float64(st.Hedges)/float64(st.Queries), "hedge-frac")
+			}
+			if st.Hedges > 0 {
+				b.ReportMetric(float64(st.HedgeWins)/float64(st.Hedges), "hedge-winrate")
+			}
+		})
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,14 @@ type Config struct {
 	// sender stalls between chunks (default rpc.DefaultStreamIdleTimeout).
 	// A reaped session never disturbs the serving shard.
 	LoadIdleTimeout time.Duration
+	// SearchDelay and SearchDelayFraction inject artificial latency into
+	// this replica's search handler — the fault injector behind broker
+	// hedging demos and benchmarks (jdvs-bench -slow-replica-ms). When
+	// both are set, roughly SearchDelayFraction of searches (deterministic,
+	// counter-based: every round(1/fraction)-th request) sleep SearchDelay
+	// before answering. Zero disables.
+	SearchDelay         time.Duration
+	SearchDelayFraction float64
 }
 
 // Searcher is a running searcher node.
@@ -93,6 +102,11 @@ type Searcher struct {
 	searchWorkers int
 
 	loads *rpc.StreamServer
+
+	// Fault injection: every delayEvery-th search sleeps delay.
+	delay      time.Duration
+	delayEvery int64
+	delaySeq   atomic.Int64
 
 	rtLatency     metrics.Histogram
 	applied       metrics.Counter
@@ -127,6 +141,17 @@ func New(cfg Config) (*Searcher, error) {
 		onApplied:     cfg.OnApplied,
 		searchWorkers: cfg.SearchWorkers,
 		done:          make(chan struct{}),
+	}
+	if cfg.SearchDelay > 0 && cfg.SearchDelayFraction > 0 {
+		s.delay = cfg.SearchDelay
+		frac := cfg.SearchDelayFraction
+		if frac > 1 {
+			frac = 1
+		}
+		s.delayEvery = int64(math.Round(1 / frac))
+		if s.delayEvery < 1 {
+			s.delayEvery = 1
+		}
 	}
 	if s.searchWorkers > 0 {
 		cfg.Shard.SetSearchWorkers(s.searchWorkers)
@@ -193,6 +218,9 @@ func (s *Searcher) handleSearch(payload []byte) ([]byte, error) {
 	req, err := core.DecodeSearchRequest(payload)
 	if err != nil {
 		return nil, err
+	}
+	if s.delayEvery > 0 && s.delaySeq.Add(1)%s.delayEvery == 0 {
+		time.Sleep(s.delay) // injected fault: this replica is slow for this request
 	}
 	resp, err := s.shard.Load().Search(req)
 	if err != nil {
