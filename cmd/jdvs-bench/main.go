@@ -47,6 +47,8 @@ func run() error {
 		replicas   = flag.Int("replicas", 0, "hedge: searcher replicas per partition (0 = default 2)")
 		slowMS     = flag.Int("slow-replica-ms", 0, "hedge: extra latency injected into the slow replica, in ms (0 = default 200)")
 		slowFrac   = flag.Float64("slow-replica-frac", 0, "hedge: fraction of the slow replica's searches delayed (0 = default 0.2)")
+		pqM        = flag.Int("pq-subvectors", 0, "fig12/fig13/hedge: product-quantization code bytes per image (0 = exact float scan, -1 = dimension-derived)")
+		pqRerank   = flag.Int("pq-rerank", 0, "fig12/fig13/hedge: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,7 @@ func run() error {
 			res, err := experiments.RunFig12(experiments.Fig12Config{
 				Duration: *duration, Products: *products, Partitions: *partitions,
 				UpdateRate: *rate, Seed: *seed,
+				PQSubvectors: *pqM, RerankK: *pqRerank,
 			})
 			if err != nil {
 				return err
@@ -83,6 +86,7 @@ func run() error {
 		case "fig13":
 			res, err := experiments.RunFig13(experiments.Fig13Config{
 				Duration: *duration, Products: *products, Partitions: *partitions, Seed: *seed,
+				PQSubvectors: *pqM, RerankK: *pqRerank,
 			})
 			if err != nil {
 				return err
@@ -96,6 +100,8 @@ func run() error {
 				Replicas:     *replicas,
 				SlowDelay:    time.Duration(*slowMS) * time.Millisecond,
 				SlowFraction: *slowFrac,
+				PQSubvectors: *pqM,
+				RerankK:      *pqRerank,
 				Seed:         *seed,
 			})
 			if err != nil {

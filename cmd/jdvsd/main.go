@@ -53,6 +53,9 @@ func run() error {
 		fseed     = flag.Int64("feature-seed", 42, "blender: CNN weight seed (must match the indexer)")
 		workers   = flag.Int("search-workers", 0, "searcher: goroutines scanning probed lists per query (0 = GOMAXPROCS-derived, 1 = serial)")
 		loadIdle  = flag.Duration("load-idle-timeout", 0, "searcher: abort an inbound snapshot stream idle longer than this (0 = default)")
+		pqM       = flag.Int("pq-subvectors", 0, "searcher: product-quantization code bytes per image (must divide -dim; 0 = exact float scan, -1 = dimension-derived default)")
+		pqRerank  = flag.Int("pq-rerank", 0, "searcher: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
+		pqSample  = flag.Int("pq-train-sample", 10000, "searcher: stored rows used to train PQ when the snapshot carries no codes")
 		hedgeQ    = flag.Float64("hedge-quantile", 0, "broker: latency percentile that triggers a hedged replica request (0 = default 95, negative disables)")
 		hedgeMin  = flag.Duration("hedge-min-delay", 0, "broker: floor on the hedge delay (0 = default 1ms)")
 		hedgeFrac = flag.Float64("hedge-max-fraction", 0, "broker: hedge budget as a fraction of query volume (0 = default 0.1)")
@@ -68,7 +71,7 @@ func run() error {
 		if *snapshot == "" {
 			return fmt.Errorf("searcher needs -snapshot")
 		}
-		shard, err := index.New(index.Config{Dim: *dim, NLists: *nlists})
+		shard, err := index.New(index.Config{Dim: *dim, NLists: *nlists, PQSubvectors: *pqM, RerankK: *pqRerank})
 		if err != nil {
 			return err
 		}
@@ -80,6 +83,14 @@ func run() error {
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("load snapshot: %w", err)
+		}
+		if shard.Config().PQSubvectors > 0 && !shard.PQEnabled() {
+			// A pre-PQ (v1) snapshot carries features but no codes: train a
+			// quantizer from the stored rows so this node still serves the
+			// ADC scan path.
+			if err := shard.TrainPQStored(*pqSample, *fseed); err != nil {
+				return fmt.Errorf("pq re-encode: %w", err)
+			}
 		}
 		node, err := searcher.New(searcher.Config{
 			Partition:       core.PartitionID(*partition),
@@ -93,8 +104,12 @@ func run() error {
 		}
 		boundAddr, closer = node.Addr(), node.Close
 		st := shard.Stats()
-		fmt.Printf("searcher partition %d serving %d images (%d valid) on %s\n",
-			*partition, st.Images, st.ValidImages, boundAddr)
+		scanPath := "exact scan"
+		if shard.PQEnabled() {
+			scanPath = fmt.Sprintf("ADC scan, %d-byte codes", shard.PQCodebook().M)
+		}
+		fmt.Printf("searcher partition %d serving %d images (%d valid, %s) on %s\n",
+			*partition, st.Images, st.ValidImages, scanPath, boundAddr)
 
 	case "broker":
 		if *searchers == "" {

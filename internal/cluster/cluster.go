@@ -62,6 +62,14 @@ type Config struct {
 	// are striped across this many goroutines per query. 0 derives the
 	// width from GOMAXPROCS; 1 scans serially.
 	SearchWorkers int
+	// PQSubvectors switches the searchers' shard scan to product-quantized
+	// ADC codes with exact re-rank (index.Config.PQSubvectors): the number
+	// of code bytes per image, which must divide Dim. 0 keeps the exact
+	// float scan; negative derives a dimension-based default. RerankK is
+	// the ADC over-fetch depth re-ranked exactly per query (0 derives
+	// 10×TopK).
+	PQSubvectors int
+	RerankK      int
 	// SnapshotChunkSize bounds each chunk when Reindex streams the fresh
 	// shards to the searcher fleet over RPC (default rpc.DefaultChunkSize;
 	// see searcher.PushOptions). Tests use small values to force
@@ -201,6 +209,8 @@ func Start(cfg Config) (*Cluster, error) {
 			NLists:        cfg.NLists,
 			DefaultNProbe: cfg.DefaultNProbe,
 			SearchWorkers: cfg.SearchWorkers,
+			PQSubvectors:  cfg.PQSubvectors,
+			RerankK:       cfg.RerankK,
 		},
 		Seed: cfg.FeatureSeed,
 	}, c.resolver)
@@ -489,6 +499,8 @@ func (c *Cluster) Reindex() error {
 			NLists:        c.cfg.NLists,
 			DefaultNProbe: c.cfg.DefaultNProbe,
 			SearchWorkers: c.cfg.SearchWorkers,
+			PQSubvectors:  c.cfg.PQSubvectors,
+			RerankK:       c.cfg.RerankK,
 		},
 		Seed: c.cfg.FeatureSeed,
 	}, c.resolver)

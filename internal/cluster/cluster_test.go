@@ -353,3 +353,52 @@ func TestHedgingThroughFullStack(t *testing.T) {
 		t.Fatalf("%d/20 post-warmup queries still ran at slow-replica latency; hedging ineffective\n%s", slowCount, st)
 	}
 }
+
+// TestQueryThroughFullStackPQ runs the full-stack recall check with the
+// searchers on the product-quantized ADC scan path: every shard must carry
+// codes in lockstep and end-to-end recall must hold up through the
+// over-fetch + exact re-rank.
+func TestQueryThroughFullStackPQ(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PQSubvectors = -1 // dimension-derived M
+	c := startTestCluster(t, cfg)
+	for p := 0; p < c.Partitions(); p++ {
+		shard := c.Searcher(p, 0).Shard()
+		if !shard.PQEnabled() {
+			t.Fatalf("partition %d serving without PQ", p)
+		}
+		if st := shard.Stats(); st.PQCodes != st.Images {
+			t.Fatalf("partition %d: %d codes for %d images", p, st.PQCodes, st.Images)
+		}
+	}
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	hits := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		target := &c.Catalog.Products[i*7%len(c.Catalog.Products)]
+		resp, err := cl.Query(ctx, &core.QueryRequest{
+			ImageBlob:     c.Catalog.QueryImage(target).Encode(),
+			TopK:          10,
+			CategoryScope: core.AllCategories,
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		for _, h := range resp.Hits {
+			if h.ProductID == target.ID {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < trials*8/10 {
+		t.Fatalf("recall %d/%d through full stack with PQ", hits, trials)
+	}
+}

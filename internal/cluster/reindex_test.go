@@ -202,3 +202,42 @@ func TestStartPeriodicReindex(t *testing.T) {
 		t.Fatalf("reindex cycle error: %v", cycleErr)
 	}
 }
+
+// TestReindexCarriesCoveredOffsetsAndPQ: the rebuilt shards a Reindex
+// distributes must carry the replayed queue offsets (so lagging real-time
+// consumers skip the covered span) and, when configured, the product
+// quantizer — both surviving the chunked push to every searcher.
+func TestReindexCarriesCoveredOffsetsAndPQ(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PQSubvectors = -1
+	cfg.SnapshotChunkSize = 16 << 10 // force multi-chunk pushes
+	c := startTestCluster(t, cfg)
+
+	// Generate some post-bootstrap traffic, drain it, then rebuild.
+	target := &c.Catalog.Products[2]
+	if err := c.Publish(c.UpdateAttrsEvent(target, 7, 8, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForDrain(5 * time.Second) {
+		t.Fatal("drain timeout")
+	}
+	if err := c.Reindex(); err != nil {
+		t.Fatalf("Reindex: %v", err)
+	}
+	for p := 0; p < c.Partitions(); p++ {
+		wantOff, err := c.Queue.Len("product-updates", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := c.Searcher(p, 0).Shard()
+		if got := shard.CoveredOffset(); got != wantOff {
+			t.Fatalf("partition %d pushed covered offset %d, want %d", p, got, wantOff)
+		}
+		if !shard.PQEnabled() {
+			t.Fatalf("partition %d lost PQ through reindex push", p)
+		}
+		if st := shard.Stats(); st.PQCodes != st.Images {
+			t.Fatalf("partition %d: %d codes for %d images after push", p, st.PQCodes, st.Images)
+		}
+	}
+}

@@ -28,6 +28,11 @@ type Fig12Config struct {
 	// UpdateRate is the real-time indexing load in events/sec while
 	// measuring "with real time index" (default 2,000).
 	UpdateRate int
+	// PQSubvectors/RerankK switch the searchers to the product-quantized
+	// ADC scan (cluster.Config fields of the same names); 0 keeps the
+	// exact float scan.
+	PQSubvectors int
+	RerankK      int
 	// Seed drives generation.
 	Seed int64
 }
@@ -81,10 +86,12 @@ func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
 	cfg.fill()
 	var applied atomic.Int64
 	c, err := cluster.Start(cluster.Config{
-		Partitions: cfg.Partitions,
-		Brokers:    cfg.Brokers,
-		Blenders:   cfg.Blenders,
-		NLists:     64,
+		Partitions:   cfg.Partitions,
+		Brokers:      cfg.Brokers,
+		Blenders:     cfg.Blenders,
+		NLists:       64,
+		PQSubvectors: cfg.PQSubvectors,
+		RerankK:      cfg.RerankK,
 		Catalog: catalog.Config{
 			Products:   cfg.Products,
 			Categories: 12,

@@ -24,6 +24,10 @@ type Fig13Config struct {
 	Partitions, Brokers, Blenders, Products int
 	// CDFPoints caps the rendered CDF resolution (default 24).
 	CDFPoints int
+	// PQSubvectors/RerankK switch the searchers to the product-quantized
+	// ADC scan; 0 keeps the exact float scan.
+	PQSubvectors int
+	RerankK      int
 	// Seed drives generation.
 	Seed int64
 }
@@ -78,10 +82,12 @@ type Fig13Result struct {
 func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
 	cfg.fill()
 	c, err := cluster.Start(cluster.Config{
-		Partitions: cfg.Partitions,
-		Brokers:    cfg.Brokers,
-		Blenders:   cfg.Blenders,
-		NLists:     64,
+		Partitions:   cfg.Partitions,
+		Brokers:      cfg.Brokers,
+		Blenders:     cfg.Blenders,
+		NLists:       64,
+		PQSubvectors: cfg.PQSubvectors,
+		RerankK:      cfg.RerankK,
 		Catalog: catalog.Config{
 			Products:   cfg.Products,
 			Categories: 12,

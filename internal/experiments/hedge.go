@@ -29,6 +29,10 @@ type HedgeConfig struct {
 	// replica's searches it applies to (default 0.2).
 	SlowDelay    time.Duration
 	SlowFraction float64
+	// PQSubvectors/RerankK switch the searchers to the product-quantized
+	// ADC scan; 0 keeps the exact float scan.
+	PQSubvectors int
+	RerankK      int
 	// Seed drives generation.
 	Seed int64
 }
@@ -121,6 +125,8 @@ func runHedgeSide(cfg HedgeConfig, hedged bool, quantile float64) (*HedgeSide, e
 		Brokers:             cfg.Brokers,
 		Blenders:            cfg.Blenders,
 		NLists:              32,
+		PQSubvectors:        cfg.PQSubvectors,
+		RerankK:             cfg.RerankK,
 		SlowReplicaDelay:    cfg.SlowDelay,
 		SlowReplicaFraction: cfg.SlowFraction,
 		HedgeQuantile:       hq,

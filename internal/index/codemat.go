@@ -1,0 +1,76 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// codeMat is the in-shard PQ code matrix: row i holds the M-byte product
+// quantization code of image ID i, aligned with the forward index and the
+// feature matrix. The lock-free chunked storage lives in chunkMat — the
+// ADC scan path reads codes exactly as the exact path reads feature rows;
+// this wrapper owns the raw-byte snapshot codec.
+type codeMat struct {
+	chunkMat[byte]
+}
+
+const codeRowsPerChunk = 1 << 14 // 16384 rows per chunk
+
+func newCodeMat(m int) *codeMat {
+	c := &codeMat{}
+	c.init("code length", m, codeRowsPerChunk)
+	return c
+}
+
+// writeTo serialises the matrix: [4B m][4B rows][rows×m bytes].
+func (c *codeMat) writeTo(w io.Writer) (int64, error) {
+	var written int64
+	var hdr [8]byte
+	n := c.length.Load()
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(c.width))
+	binary.LittleEndian.PutUint32(hdr[4:8], n)
+	k, err := w.Write(hdr[:])
+	written += int64(k)
+	if err != nil {
+		return written, err
+	}
+	for id := uint32(0); id < n; id++ {
+		k, err = w.Write(c.Row(id))
+		written += int64(k)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// readFrom replaces the matrix contents. Not concurrent-safe.
+func (c *codeMat) readFrom(r io.Reader) (int64, error) {
+	var read int64
+	var hdr [8]byte
+	k, err := io.ReadFull(r, hdr[:])
+	read += int64(k)
+	if err != nil {
+		return read, err
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if m != c.width {
+		return read, fmt.Errorf("index: snapshot code length %d, shard code length %d", m, c.width)
+	}
+	fresh := newCodeMat(m)
+	row := make([]byte, m)
+	for id := uint32(0); id < n; id++ {
+		k, err = io.ReadFull(r, row)
+		read += int64(k)
+		if err != nil {
+			return read, err
+		}
+		if _, err := fresh.Append(row); err != nil {
+			return read, err
+		}
+	}
+	c.replace(&fresh.chunkMat)
+	return read, nil
+}

@@ -5,90 +5,36 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
-	"sync/atomic"
 )
 
-// featMat is the in-shard feature matrix: row i holds the feature vector of
-// image ID i, aligned with the forward index. Rows live in fixed-size
-// chunks behind an atomically published directory, so distance computation
-// on the search path reads rows lock-free while the (single) real-time
-// indexing writer appends.
+// featMat is the in-shard feature matrix: row i holds the feature vector
+// of image ID i. The lock-free chunked storage lives in chunkMat; this
+// wrapper owns the float32 snapshot codec.
 type featMat struct {
-	dim int
-
-	mu     sync.Mutex
-	dir    atomic.Pointer[[]*featChunk]
-	length atomic.Uint32
+	chunkMat[float32]
 }
 
 const featRowsPerChunk = 1 << 12 // 4096 rows per chunk
 
-type featChunk struct {
-	rows []float32 // featRowsPerChunk × dim, allocated once
-}
-
 func newFeatMat(dim int) *featMat {
-	m := &featMat{dim: dim}
-	dir := []*featChunk{}
-	m.dir.Store(&dir)
+	m := &featMat{}
+	m.init("feature dim", dim, featRowsPerChunk)
 	return m
 }
 
-// Len returns the number of committed rows.
-func (m *featMat) Len() int { return int(m.length.Load()) }
-
-// Append stores f as the next row and returns its row index. f must have
-// exactly dim components.
-func (m *featMat) Append(f []float32) (uint32, error) {
-	if len(f) != m.dim {
-		return 0, fmt.Errorf("index: feature dim %d, shard dim %d", len(f), m.dim)
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id := m.length.Load()
-	chunks := *m.dir.Load()
-	ci := int(id / featRowsPerChunk)
-	if ci >= len(chunks) {
-		next := make([]*featChunk, ci+1)
-		copy(next, chunks)
-		for i := len(chunks); i <= ci; i++ {
-			next[i] = &featChunk{rows: make([]float32, featRowsPerChunk*m.dim)}
-		}
-		m.dir.Store(&next)
-		chunks = next
-	}
-	off := int(id%featRowsPerChunk) * m.dim
-	copy(chunks[ci].rows[off:off+m.dim], f)
-	m.length.Store(id + 1) // publish
-	return id, nil
-}
-
-// Row returns row id as a sub-slice of chunk storage. Rows are immutable
-// once committed; callers must not modify the result. Returns nil for
-// uncommitted ids.
-func (m *featMat) Row(id uint32) []float32 {
-	if id >= m.length.Load() {
-		return nil
-	}
-	chunks := *m.dir.Load()
-	off := int(id%featRowsPerChunk) * m.dim
-	return chunks[id/featRowsPerChunk].rows[off : off+m.dim]
-}
-
-// writeTo serialises the matrix.
+// writeTo serialises the matrix: [4B dim][4B rows][rows×dim float32].
 func (m *featMat) writeTo(w io.Writer) (int64, error) {
 	var written int64
 	var hdr [8]byte
 	n := m.length.Load()
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.dim))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.width))
 	binary.LittleEndian.PutUint32(hdr[4:8], n)
 	k, err := w.Write(hdr[:])
 	written += int64(k)
 	if err != nil {
 		return written, err
 	}
-	buf := make([]byte, 4*m.dim)
+	buf := make([]byte, 4*m.width)
 	for id := uint32(0); id < n; id++ {
 		row := m.Row(id)
 		for i, v := range row {
@@ -114,8 +60,8 @@ func (m *featMat) readFrom(r io.Reader) (int64, error) {
 	}
 	dim := int(binary.LittleEndian.Uint32(hdr[0:4]))
 	n := binary.LittleEndian.Uint32(hdr[4:8])
-	if dim != m.dim {
-		return read, fmt.Errorf("index: snapshot dim %d, shard dim %d", dim, m.dim)
+	if dim != m.width {
+		return read, fmt.Errorf("index: snapshot dim %d, shard dim %d", dim, m.width)
 	}
 	fresh := newFeatMat(dim)
 	buf := make([]byte, 4*dim)
@@ -133,9 +79,6 @@ func (m *featMat) readFrom(r io.Reader) (int64, error) {
 			return read, err
 		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.dir.Store(fresh.dir.Load())
-	m.length.Store(fresh.length.Load())
+	m.replace(&fresh.chunkMat)
 	return read, nil
 }

@@ -19,6 +19,7 @@
 package index
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"jdvs/internal/forward"
 	"jdvs/internal/inverted"
 	"jdvs/internal/kmeans"
+	"jdvs/internal/pq"
 	"jdvs/internal/topk"
 	"jdvs/internal/vecmath"
 )
@@ -56,6 +58,20 @@ type Config struct {
 	// lock-free reader contract: any number of scan workers may run while
 	// the single real-time writer mutates the shard.
 	SearchWorkers int
+	// PQSubvectors configures the product-quantized ADC scan path: the
+	// number of subquantizers M (code bytes per image); must divide Dim.
+	// 0 disables PQ training; negative picks a dimension-derived default
+	// (pq.DefaultSubvectors). Note the scan path itself follows the
+	// installed codebook, not this knob: a shard only scans ADC codes once
+	// TrainPQ/SetPQCodebook has run (or a PQ-bearing snapshot loaded), and
+	// falls back to the exact float scan until then.
+	PQSubvectors int
+	// RerankK is the ADC over-fetch depth: the approximate scan selects
+	// this many candidates, which are then re-ranked exactly against the
+	// raw feature rows before the final top-k. <= 0 derives 10×TopK per
+	// query (recall@10 ≥ 0.98 on clustered synthetic corpora, guarded by
+	// TestPQRecallGuardrail). Clamped to [TopK, MaxTopK].
+	RerankK int
 }
 
 // MaxTopK caps a single query's result size. SearchRequest.TopK arrives
@@ -66,10 +82,14 @@ type Config struct {
 // searchers return tens of candidates per partition).
 const MaxTopK = 4096
 
-// maxDefaultSearchWorkers caps the GOMAXPROCS-derived default: beyond a
-// handful of workers per query, fan-out overhead beats scan savings at
-// realistic nprobe values.
-const maxDefaultSearchWorkers = 8
+// maxDefaultSearchWorkers caps the GOMAXPROCS-derived default. Measured
+// on BenchmarkSearchWorkers (50k images, nprobe 8/16/32): 8 workers never
+// beat 4 at any probe width — at nprobe=8 each of 8 workers gets a single
+// list, so per-query fan-out overhead eats the scan savings, and per-query
+// allocations double (2720 B vs 1824 B). GitHub's ubuntu-latest CI runners
+// (the BENCH_searcher.json source) expose 4 vCPUs, so a wider default was
+// never exercisable there anyway. PR 1 guessed 8; the measurements say 4.
+const maxDefaultSearchWorkers = 4
 
 func defaultSearchWorkers() int {
 	n := runtime.GOMAXPROCS(0)
@@ -98,6 +118,15 @@ func (c *Config) validate() error {
 	if c.SearchWorkers <= 0 {
 		c.SearchWorkers = defaultSearchWorkers()
 	}
+	if c.PQSubvectors < 0 {
+		c.PQSubvectors = pq.DefaultSubvectors(c.Dim)
+	}
+	if c.PQSubvectors > 0 && c.Dim%c.PQSubvectors != 0 {
+		return fmt.Errorf("index: PQSubvectors %d must divide Dim %d", c.PQSubvectors, c.Dim)
+	}
+	if c.RerankK < 0 {
+		c.RerankK = 0
+	}
 	return nil
 }
 
@@ -107,6 +136,7 @@ type Stats struct {
 	ValidImages   int // images whose validity bit is set
 	Products      int // distinct product IDs seen
 	Lists         int
+	PQCodes       int // PQ-encoded rows (0 when the shard scans exact floats)
 	Inserts       int64
 	ReusedInserts int64 // insertions satisfied by flipping validity back on
 	Deletions     int64
@@ -123,6 +153,23 @@ type Shard struct {
 	inv      *inverted.Index
 	valid    *bitmapx.Bitmap
 	feats    *featMat
+
+	// pqState is the atomically published (codebook, code matrix) pair of
+	// the ADC scan path. nil means no product quantizer is installed and
+	// searches take the exact float path. Published only after every
+	// existing feature row has been encoded, so readers always see codes
+	// in lockstep with features; thereafter the single real-time writer
+	// appends to both.
+	pqState atomic.Pointer[shardPQ]
+	// codeScratch is the writer's per-insert encode buffer (single-writer
+	// contract: Insert is never concurrent with itself).
+	codeScratch []byte
+
+	// coveredOffset is the message-queue offset this shard's contents
+	// cover (the next offset a real-time consumer should read). Carried in
+	// snapshots so a pushed full index tells the receiving searcher how
+	// far it can skip.
+	coveredOffset atomic.Int64
 
 	// Lookup tables for the real-time indexing writer. Guarded by tabMu:
 	// written only by the single writer, read by Stats/tests and the
@@ -194,6 +241,112 @@ func (s *Shard) Codebook() *kmeans.Codebook { return s.codebook }
 
 // Trained reports whether a codebook is installed.
 func (s *Shard) Trained() bool { return s.codebook != nil }
+
+// shardPQ is the published state of the ADC scan path: the product
+// quantizer and the code matrix it produced, always in lockstep with the
+// feature matrix.
+type shardPQ struct {
+	cb    *pq.Codebook
+	codes *codeMat
+}
+
+// TrainPQ fits the product-quantization codebook on the given training
+// features (flat row-major n×Dim), encodes every stored feature row, and
+// switches searches to the ADC scan path. Requires Config.PQSubvectors.
+// Like snapshot operations it must run in the writer's context (no
+// concurrent Insert); searches keep running on the exact path until the
+// encoded codes publish atomically.
+func (s *Shard) TrainPQ(features []float32, seed int64) error {
+	if s.cfg.PQSubvectors <= 0 {
+		return errors.New("index: PQSubvectors not configured")
+	}
+	cb, err := pq.Train(pq.Config{Dim: s.cfg.Dim, M: s.cfg.PQSubvectors, Seed: seed}, features)
+	if err != nil {
+		return fmt.Errorf("index: train pq: %w", err)
+	}
+	return s.installPQ(cb)
+}
+
+// TrainPQStored is TrainPQ training on up to sample of the shard's own
+// stored feature rows — the lazy re-encode path for shards loaded from a
+// pre-PQ snapshot, which carry features but no codes. sample <= 0 trains
+// on every row. The sample strides evenly across the matrix rather than
+// taking a prefix: rows arrive in insertion order (often product- or
+// time-clustered), and a prefix sample would fit the quantizer to one
+// slice of the feature distribution.
+func (s *Shard) TrainPQStored(sample int, seed int64) error {
+	n := s.feats.Len()
+	if n == 0 {
+		return errors.New("index: no stored features to train PQ on")
+	}
+	if sample <= 0 || sample > n {
+		sample = n
+	}
+	stride := n / sample
+	train := make([]float32, 0, sample*s.cfg.Dim)
+	for i := 0; i < sample; i++ {
+		train = append(train, s.feats.Row(uint32(i*stride))...)
+	}
+	return s.TrainPQ(train, seed)
+}
+
+// SetPQCodebook installs a pre-trained product quantizer (full indexing
+// distributes one PQ codebook to all shards alongside the IVF codebook),
+// encoding every stored row before the ADC path publishes. Writer-context
+// only, like TrainPQ.
+func (s *Shard) SetPQCodebook(cb *pq.Codebook) error {
+	if err := cb.Valid(); err != nil {
+		return err
+	}
+	if cb.Dim != s.cfg.Dim {
+		return fmt.Errorf("index: pq codebook dim %d, shard dim %d", cb.Dim, s.cfg.Dim)
+	}
+	return s.installPQ(cb)
+}
+
+// installPQ backfills codes for every committed feature row and publishes
+// the ADC state.
+func (s *Shard) installPQ(cb *pq.Codebook) error {
+	codes := newCodeMat(cb.M)
+	n := uint32(s.feats.Len())
+	code := make([]byte, cb.M)
+	for id := uint32(0); id < n; id++ {
+		if err := cb.Encode(s.feats.Row(id), code); err != nil {
+			return fmt.Errorf("index: pq encode row %d: %w", id, err)
+		}
+		if _, err := codes.Append(code); err != nil {
+			return fmt.Errorf("index: pq backfill row %d: %w", id, err)
+		}
+	}
+	s.pqState.Store(&shardPQ{cb: cb, codes: codes})
+	return nil
+}
+
+// PQEnabled reports whether searches currently scan ADC codes.
+func (s *Shard) PQEnabled() bool { return s.pqState.Load() != nil }
+
+// PQCodebook returns the installed product quantizer (nil when the shard
+// scans exact floats).
+func (s *Shard) PQCodebook() *pq.Codebook {
+	if ps := s.pqState.Load(); ps != nil {
+		return ps.cb
+	}
+	return nil
+}
+
+// CoveredOffset returns the message-queue offset this shard's contents
+// cover (0 when unknown).
+func (s *Shard) CoveredOffset() int64 { return s.coveredOffset.Load() }
+
+// SetCoveredOffset records the queue offset the shard's contents cover; it
+// travels with snapshots so receivers can fast-forward their real-time
+// consumers past replayed messages.
+func (s *Shard) SetCoveredOffset(off int64) {
+	if off < 0 {
+		off = 0
+	}
+	s.coveredOffset.Store(off)
+}
 
 // Config returns the shard's configuration, reflecting any runtime
 // SetSearchWorkers adjustment so derived shards (snapshot loads, clones)
@@ -286,6 +439,25 @@ func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool,
 	}
 	if fid != id {
 		return 0, false, fmt.Errorf("index: id skew: forward %d, features %d", id, fid)
+	}
+	if ps := s.pqState.Load(); ps != nil {
+		// Keep the code matrix in lockstep: the row must be committed
+		// before the inverted entry and validity bit make the id
+		// scannable.
+		if cap(s.codeScratch) < ps.cb.M {
+			s.codeScratch = make([]byte, ps.cb.M)
+		}
+		code := s.codeScratch[:ps.cb.M]
+		if err := ps.cb.Encode(feature, code); err != nil {
+			return 0, false, fmt.Errorf("index: pq encode: %w", err)
+		}
+		cid, err := ps.codes.Append(code)
+		if err != nil {
+			return 0, false, fmt.Errorf("index: pq code append: %w", err)
+		}
+		if cid != id {
+			return 0, false, fmt.Errorf("index: id skew: forward %d, codes %d", id, cid)
+		}
 	}
 	cluster := s.codebook.Assign(feature)
 	if err := s.inv.Append(cluster, id); err != nil {
@@ -416,6 +588,7 @@ type searchScratch struct {
 	parts     [][]topk.Item
 	merged    []topk.Item
 	counts    []int
+	lut       []float32 // per-query ADC distance table (PQ path)
 }
 
 var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
@@ -451,6 +624,13 @@ func (sc *searchScratch) workerCounts(n int) []int {
 // probed lists are striped across that many goroutines, each selecting a
 // private top-k over its share, merged at the end; results are identical
 // to the serial scan.
+//
+// When a product quantizer is installed (TrainPQ / SetPQCodebook / a
+// PQ-bearing snapshot) the scan scores ADC codes instead of float rows: a
+// per-query lookup table turns each candidate into M byte-indexed table
+// adds, the scan over-fetches RerankK candidates, and that short list is
+// re-ranked exactly against the raw feature rows before the final top-k.
+// Shards without a quantizer take the exact float path unchanged.
 func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 	if s.codebook == nil {
 		return nil, ErrNotTrained
@@ -486,31 +666,12 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 
 	var items []topk.Item
 	scanned := 0
-	if workers == 1 {
-		sel := sc.selectors(1, k)[0]
-		scanned = s.scanLists(req, lists, 0, 1, sel)
-		items = sel.Sorted()
+	if ps := s.pqState.Load(); ps != nil {
+		items, scanned = s.searchADC(req, lists, workers, k, sc, ps)
 	} else {
-		sels := sc.selectors(workers, k)
-		counts := sc.workerCounts(workers)
-		var wg sync.WaitGroup
-		for w := 1; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				counts[w] = s.scanLists(req, lists, w, workers, sels[w])
-			}(w)
-		}
-		// Worker 0 runs on the calling goroutine.
-		counts[0] = s.scanLists(req, lists, 0, workers, sels[0])
-		wg.Wait()
-		parts := sc.parts[:0]
-		for w := 0; w < workers; w++ {
-			scanned += counts[w]
-			parts = append(parts, sels[w].Sorted())
-		}
-		sc.parts = parts
-		sc.merged = topk.MergeInto(sc.merged, k, parts...)
+		scanned = s.scanStriped(workers, k, sc, func(start, stride int, sel *topk.Selector) int {
+			return s.scanLists(req, lists, start, stride, sel)
+		})
 		items = sc.merged
 	}
 
@@ -569,6 +730,114 @@ func (s *Shard) scanLists(req *core.SearchRequest, lists []int, start, stride in
 	return scanned
 }
 
+// rerankDepth derives the ADC over-fetch depth for one query.
+func (s *Shard) rerankDepth(k int) int {
+	r := 10 * k
+	if s.cfg.RerankK > 0 {
+		r = s.cfg.RerankK
+	}
+	if r < k {
+		r = k
+	}
+	if r > MaxTopK {
+		r = MaxTopK
+	}
+	return r
+}
+
+// scanStriped runs scan(start, stride, sel) striped across the workers —
+// the §2.4 multi-thread fan-out shared by the exact and ADC paths — and
+// leaves the merged best-k candidates in sc.merged, returning the total
+// candidates scored. scan must be safe for concurrent calls with distinct
+// (start, sel) pairs.
+func (s *Shard) scanStriped(workers, k int, sc *searchScratch, scan func(start, stride int, sel *topk.Selector) int) int {
+	if workers == 1 {
+		sel := sc.selectors(1, k)[0]
+		n := scan(0, 1, sel)
+		sc.merged = topk.MergeInto(sc.merged, k, sel.Sorted())
+		return n
+	}
+	sels := sc.selectors(workers, k)
+	counts := sc.workerCounts(workers)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts[w] = scan(w, workers, sels[w])
+		}(w)
+	}
+	// Worker 0 runs on the calling goroutine.
+	counts[0] = scan(0, workers, sels[0])
+	wg.Wait()
+	parts := sc.parts[:0]
+	scanned := 0
+	for w := 0; w < workers; w++ {
+		scanned += counts[w]
+		parts = append(parts, sels[w].Sorted())
+	}
+	sc.parts = parts
+	sc.merged = topk.MergeInto(sc.merged, k, parts...)
+	return scanned
+}
+
+// searchADC is the product-quantized scan: build the query's ADC lookup
+// table, select the rerankDepth approximate-nearest candidates over the
+// probed lists (striped across workers exactly like the exact scan), then
+// re-rank that short list against the raw feature rows and keep the exact
+// top k. Returns the final items and the number of candidates scored.
+func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, sc *searchScratch, ps *shardPQ) ([]topk.Item, int) {
+	// Dimensions were validated against the shard config, and the codebook
+	// was validated against the shard at install time, so BuildLUT cannot
+	// fail here.
+	sc.lut, _ = ps.cb.BuildLUT(req.Feature, sc.lut)
+	rerankK := s.rerankDepth(k)
+	scanned := s.scanStriped(workers, rerankK, sc, func(start, stride int, sel *topk.Selector) int {
+		return s.scanListsADC(req, lists, start, stride, sel, ps, sc.lut)
+	})
+
+	// Exact re-rank: the candidates are safely copied into sc.merged, so
+	// the pooled selectors can be reconfigured for the final top-k.
+	sel := sc.selectors(1, k)[0]
+	for _, it := range sc.merged {
+		row := s.feats.Row(uint32(it.ID))
+		if row == nil {
+			continue
+		}
+		sel.Push(it.ID, vecmath.L2Squared(req.Feature, row))
+	}
+	return sel.Sorted(), scanned
+}
+
+// scanListsADC is scanLists scoring PQ codes through the query's lookup
+// table instead of float rows: M byte-indexed adds per candidate instead
+// of Dim float subtract-multiply-adds over a Dim×4-byte row.
+func (s *Shard) scanListsADC(req *core.SearchRequest, lists []int, start, stride int, sel *topk.Selector, ps *shardPQ, lut []float32) int {
+	scanned := 0
+	scan := func(id uint32) bool {
+		if !s.valid.Get(id) {
+			return true // off-market: excluded from search (§2.2)
+		}
+		if req.Category >= 0 {
+			_, _, _, cat, ok := s.fwd.Numeric(id)
+			if !ok || int32(cat) != req.Category {
+				return true
+			}
+		}
+		code := ps.codes.Row(id)
+		if code == nil {
+			return true
+		}
+		scanned++
+		sel.Push(uint64(id), pq.ADCDist(lut, code))
+		return true
+	}
+	for i := start; i < len(lists); i += stride {
+		s.inv.Scan(lists[i], scan)
+	}
+	return scanned
+}
+
 // Stats returns a snapshot of shard counters.
 func (s *Shard) Stats() Stats {
 	s.statsMu.Lock()
@@ -577,6 +846,9 @@ func (s *Shard) Stats() Stats {
 	st.Images = s.fwd.Len()
 	st.ValidImages = s.valid.Count()
 	st.Lists = s.inv.Lists()
+	if ps := s.pqState.Load(); ps != nil {
+		st.PQCodes = ps.codes.Len()
+	}
 	s.tabMu.RLock()
 	st.Products = len(s.byProduct)
 	s.tabMu.RUnlock()
@@ -589,14 +861,20 @@ func (s *Shard) bump(fn func(*Stats)) {
 	s.statsMu.Unlock()
 }
 
-// snapshot format identifiers.
+// snapshot format identifiers. Version 1 ends after the feature matrix;
+// version 2 adds an 8-byte covered queue offset after the version byte and
+// a trailing PQ section ([1B present] + PQ codebook + code matrix). Version
+// 1 streams still load — they simply install no quantizer, and the shard
+// serves the exact float path until TrainPQ/TrainPQStored re-encodes it.
 const (
-	snapMagic   = "JDVSSNAP"
-	snapVersion = 1
+	snapMagic     = "JDVSSNAP"
+	snapVersionV1 = 1
+	snapVersion   = 2
 )
 
-// WriteSnapshot serialises the full shard (codebook, forward, inverted,
-// bitmap, features). The real-time writer must be quiesced.
+// WriteSnapshot serialises the full shard (covered offset, codebook,
+// forward, inverted, bitmap, features, PQ codebook + codes when
+// installed). The real-time writer must be quiesced.
 func (s *Shard) WriteSnapshot(w io.Writer) error {
 	if s.codebook == nil {
 		return ErrNotTrained
@@ -605,6 +883,11 @@ func (s *Shard) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	if _, err := w.Write([]byte{snapVersion}); err != nil {
+		return err
+	}
+	var off [8]byte
+	binary.LittleEndian.PutUint64(off[:], uint64(s.coveredOffset.Load()))
+	if _, err := w.Write(off[:]); err != nil {
 		return err
 	}
 	if err := writeCodebook(w, s.codebook); err != nil {
@@ -622,12 +905,29 @@ func (s *Shard) WriteSnapshot(w io.Writer) error {
 	if _, err := s.feats.writeTo(w); err != nil {
 		return fmt.Errorf("index: snapshot features: %w", err)
 	}
+	ps := s.pqState.Load()
+	if ps == nil {
+		if _, err := w.Write([]byte{0}); err != nil {
+			return err
+		}
+		return nil
+	}
+	if _, err := w.Write([]byte{1}); err != nil {
+		return err
+	}
+	if err := writePQCodebook(w, ps.cb); err != nil {
+		return fmt.Errorf("index: snapshot pq codebook: %w", err)
+	}
+	if _, err := ps.codes.writeTo(w); err != nil {
+		return fmt.Errorf("index: snapshot pq codes: %w", err)
+	}
 	return nil
 }
 
 // LoadSnapshot replaces the shard contents from a WriteSnapshot stream and
 // rebuilds the lookup tables from the forward index. Readers and the
-// writer must be quiesced.
+// writer must be quiesced. Both the current (v2, PQ-bearing) and the
+// legacy v1 layout are accepted.
 func (s *Shard) LoadSnapshot(r io.Reader) error {
 	magic := make([]byte, len(snapMagic)+1)
 	if _, err := io.ReadFull(r, magic); err != nil {
@@ -636,8 +936,20 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 	if string(magic[:len(snapMagic)]) != snapMagic {
 		return errors.New("index: bad snapshot magic")
 	}
-	if magic[len(snapMagic)] != snapVersion {
-		return fmt.Errorf("index: unsupported snapshot version %d", magic[len(snapMagic)])
+	version := magic[len(snapMagic)]
+	if version != snapVersionV1 && version != snapVersion {
+		return fmt.Errorf("index: unsupported snapshot version %d", version)
+	}
+	covered := int64(0)
+	if version >= snapVersion {
+		var off [8]byte
+		if _, err := io.ReadFull(r, off[:]); err != nil {
+			return fmt.Errorf("index: snapshot covered offset: %w", err)
+		}
+		covered = int64(binary.LittleEndian.Uint64(off[:]))
+		if covered < 0 {
+			return fmt.Errorf("index: corrupt snapshot covered offset %d", covered)
+		}
 	}
 	cb, err := readCodebook(r)
 	if err != nil {
@@ -658,6 +970,34 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 	if _, err := s.feats.readFrom(r); err != nil {
 		return fmt.Errorf("index: snapshot features: %w", err)
 	}
+	var fresh *shardPQ
+	if version >= snapVersion {
+		var flag [1]byte
+		if _, err := io.ReadFull(r, flag[:]); err != nil {
+			return fmt.Errorf("index: snapshot pq flag: %w", err)
+		}
+		if flag[0] == 1 {
+			pcb, err := readPQCodebook(r)
+			if err != nil {
+				return fmt.Errorf("index: snapshot pq codebook: %w", err)
+			}
+			if pcb.Dim != s.cfg.Dim {
+				return fmt.Errorf("index: snapshot pq dim %d, shard dim %d", pcb.Dim, s.cfg.Dim)
+			}
+			codes := newCodeMat(pcb.M)
+			if _, err := codes.readFrom(r); err != nil {
+				return fmt.Errorf("index: snapshot pq codes: %w", err)
+			}
+			if codes.Len() != s.feats.Len() {
+				return fmt.Errorf("index: snapshot pq codes %d rows, features %d", codes.Len(), s.feats.Len())
+			}
+			fresh = &shardPQ{cb: pcb, codes: codes}
+		} else if flag[0] != 0 {
+			return fmt.Errorf("index: corrupt snapshot pq flag %d", flag[0])
+		}
+	}
+	s.pqState.Store(fresh)
+	s.coveredOffset.Store(covered)
 	// Rebuild lookup tables from the forward index.
 	byURL := make(map[string]core.ImageID, s.fwd.Len())
 	byProduct := make(map[uint64][]core.ImageID)

@@ -84,6 +84,57 @@ func BenchmarkSearchWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkADCScan pits the product-quantized scan path against the exact
+// float scan over the same corpus at the same probe count: path=exact
+// reads a dim×4-byte feature row per candidate, path=adc reads an M-byte
+// code, sums M table lookups, and exactly re-ranks the top RerankK. The
+// corpus is sized so feature rows spill out of cache — the condition the
+// ADC path exists for.
+func BenchmarkADCScan(b *testing.B) {
+	const n, dim, m = 100_000, 64, 16
+	rng := rand.New(rand.NewSource(41))
+	feats := clusteredFeatures(rng, n, dim, 64, 0.25)
+	train := make([]float32, 0, 2000*dim)
+	for i := 0; i < 2000; i++ {
+		train = append(train, feats[i]...)
+	}
+	build := func(pqM int) *Shard {
+		s, err := New(Config{Dim: dim, NLists: 64, DefaultNProbe: 8, SearchWorkers: 1, PQSubvectors: pqM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Train(train, 1); err != nil {
+			b.Fatal(err)
+		}
+		if pqM > 0 {
+			if err := s.TrainPQ(train, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i, f := range feats {
+			a := core.Attrs{ProductID: uint64(i + 1), URL: fmt.Sprintf("jfs://adc/%d.jpg", i)}
+			if _, _, err := s.Insert(a, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	shards := map[string]*Shard{"exact": build(0), "adc": build(m)}
+	for _, path := range []string{"exact", "adc"} {
+		s := shards[path]
+		b.Run(fmt.Sprintf("path=%s", path), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := &core.SearchRequest{Feature: feats[(i*37)%n], TopK: 10, NProbe: 8, Category: -1}
+				if _, err := s.Search(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkInsertFresh measures indexing a brand-new image (forward
 // append + feature row + cluster assign + inverted append + bitmap).
 func BenchmarkInsertFresh(b *testing.B) {

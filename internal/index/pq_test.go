@@ -1,0 +1,364 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"jdvs/internal/core"
+)
+
+// clusteredFeatures synthesises n feature rows around nc cluster centres —
+// the distribution PQ is built for (and roughly what CNN embeddings of
+// product photos look like).
+func clusteredFeatures(rng *rand.Rand, n, dim, nc int, spread float64) [][]float32 {
+	centres := make([]float32, nc*dim)
+	for i := range centres {
+		centres[i] = float32(rng.NormFloat64() * 4)
+	}
+	rows := make([][]float32, n)
+	for i := range rows {
+		c := rng.Intn(nc)
+		f := make([]float32, dim)
+		for d := range f {
+			f[d] = centres[c*dim+d] + float32(rng.NormFloat64()*spread)
+		}
+		rows[i] = f
+	}
+	return rows
+}
+
+// buildPQPair builds two shards over the identical corpus: one exact, one
+// with a trained product quantizer.
+func buildPQPair(t testing.TB, n, dim, nlists, m int) (exact, quantized *Shard, feats [][]float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	feats = clusteredFeatures(rng, n, dim, 24, 0.25)
+	train := make([]float32, 0, min(n, 2000)*dim)
+	for i := 0; i < min(n, 2000); i++ {
+		train = append(train, feats[i]...)
+	}
+	mk := func(pqM int) *Shard {
+		s, err := New(Config{Dim: dim, NLists: nlists, DefaultNProbe: 8, SearchWorkers: 1, PQSubvectors: pqM})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Train(train, 5); err != nil {
+			t.Fatal(err)
+		}
+		if pqM > 0 {
+			if err := s.TrainPQ(train, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, f := range feats {
+			a := core.Attrs{ProductID: uint64(i + 1), URL: fmt.Sprintf("jfs://pq/%d.jpg", i), Category: uint16(i % 4)}
+			if _, _, err := s.Insert(a, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	return mk(0), mk(m), feats
+}
+
+// TestPQRecallGuardrail is the accuracy gate on the ADC path: over a set
+// of queries, recall@10 of the ADC scan + exact re-rank against the exact
+// scan at the same probe count must stay at least 0.95.
+func TestPQRecallGuardrail(t *testing.T) {
+	const n, dim, queries = 6000, 64, 60
+	exact, quant, feats := buildPQPair(t, n, dim, 32, 16)
+	if !quant.PQEnabled() {
+		t.Fatal("quantized shard did not enable PQ")
+	}
+	rng := rand.New(rand.NewSource(77))
+	var hit, want int
+	for qi := 0; qi < queries; qi++ {
+		base := feats[rng.Intn(n)]
+		q := make([]float32, dim)
+		for d := range q {
+			q[d] = base[d] + float32(rng.NormFloat64()*0.05)
+		}
+		req := &core.SearchRequest{Feature: q, TopK: 10, NProbe: 8, Category: -1}
+		re, err := exact.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := quant.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := make(map[uint32]bool, len(re.Hits))
+		for _, h := range re.Hits {
+			truth[h.Image.Local] = true
+		}
+		want += len(re.Hits)
+		for _, h := range rq.Hits {
+			if truth[h.Image.Local] {
+				hit++
+			}
+		}
+	}
+	recall := float64(hit) / float64(want)
+	t.Logf("ADC+rerank recall@10 over %d queries: %.4f", queries, recall)
+	if recall < 0.95 {
+		t.Fatalf("recall@10 = %.4f, want >= 0.95", recall)
+	}
+}
+
+// TestPQSerialParallelEquivalence: the striped ADC scan must return
+// exactly the serial ADC scan's results, like the exact path.
+func TestPQSerialParallelEquivalence(t *testing.T) {
+	const n, dim = 3000, 32
+	_, quant, feats := buildPQPair(t, n, dim, 16, 8)
+	rng := rand.New(rand.NewSource(5))
+	for qi := 0; qi < 20; qi++ {
+		q := feats[rng.Intn(n)]
+		req := &core.SearchRequest{Feature: q, TopK: 15, NProbe: 6, Category: -1}
+		quant.SetSearchWorkers(1)
+		serial, err := quant.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quant.SetSearchWorkers(4)
+		parallel, err := quant.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quant.SetSearchWorkers(0)
+		if len(serial.Hits) != len(parallel.Hits) {
+			t.Fatalf("query %d: serial %d hits, parallel %d", qi, len(serial.Hits), len(parallel.Hits))
+		}
+		for i := range serial.Hits {
+			if serial.Hits[i].Image != parallel.Hits[i].Image || serial.Hits[i].Dist != parallel.Hits[i].Dist {
+				t.Fatalf("query %d hit %d: serial %+v, parallel %+v", qi, i, serial.Hits[i], parallel.Hits[i])
+			}
+		}
+	}
+}
+
+// TestPQInsertLockstep: inserts after PQ is installed must encode codes in
+// lockstep, and the new images must be findable through the ADC path.
+func TestPQInsertLockstep(t *testing.T) {
+	const n, dim = 1000, 32
+	_, quant, _ := buildPQPair(t, n, dim, 16, 8)
+	rng := rand.New(rand.NewSource(9))
+	fresh := clusteredFeatures(rng, 10, dim, 3, 0.1)
+	for i, f := range fresh {
+		url := fmt.Sprintf("jfs://pq-late/%d.jpg", i)
+		id, reused, err := quant.Insert(core.Attrs{ProductID: uint64(9000 + i), URL: url}, f)
+		if err != nil || reused {
+			t.Fatalf("insert %d: id=%d reused=%v err=%v", i, id, reused, err)
+		}
+		resp, err := quant.Search(&core.SearchRequest{Feature: f, TopK: 1, NProbe: quant.cfg.NLists, Category: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Hits) != 1 || resp.Hits[0].Image.Local != id {
+			t.Fatalf("freshly inserted image %d not the nearest to its own feature: %+v", id, resp.Hits)
+		}
+	}
+	st := quant.Stats()
+	if st.PQCodes != st.Images {
+		t.Fatalf("codes %d out of lockstep with images %d", st.PQCodes, st.Images)
+	}
+}
+
+// TestPQCategoryFilter: the ADC path must honour category scoping like the
+// exact path.
+func TestPQCategoryFilter(t *testing.T) {
+	const n, dim = 2000, 32
+	_, quant, feats := buildPQPair(t, n, dim, 16, 8)
+	req := &core.SearchRequest{Feature: feats[0], TopK: 20, NProbe: 16, Category: 2}
+	resp, err := quant.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) == 0 {
+		t.Fatal("category-scoped ADC search returned nothing")
+	}
+	for _, h := range resp.Hits {
+		if h.Category != 2 {
+			t.Fatalf("hit leaked category %d through the ADC scan", h.Category)
+		}
+	}
+}
+
+// writeSnapshotV1 emits the legacy (pre-PQ, pre-covered-offset) snapshot
+// layout, byte-identical to what a PR-3-era binary wrote.
+func writeSnapshotV1(s *Shard, w io.Writer) error {
+	if _, err := io.WriteString(w, snapMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{snapVersionV1}); err != nil {
+		return err
+	}
+	if err := writeCodebook(w, s.codebook); err != nil {
+		return err
+	}
+	if _, err := s.fwd.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := s.inv.WriteTo(w); err != nil {
+		return err
+	}
+	if err := writeBitmap(w, s.valid); err != nil {
+		return err
+	}
+	_, err := s.feats.writeTo(w)
+	return err
+}
+
+// TestSnapshotBackCompatV1: a legacy snapshot must still load — serving
+// the exact scan path — and TrainPQStored must lazily re-encode it onto
+// the ADC path with consistent results.
+func TestSnapshotBackCompatV1(t *testing.T) {
+	const n, dim = 1500, 32
+	exact, _, feats := buildPQPair(t, n, dim, 16, 8)
+
+	var v1 bytes.Buffer
+	if err := writeSnapshotV1(exact, &v1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := New(Config{Dim: dim, NLists: 16, DefaultNProbe: 8, SearchWorkers: 1, PQSubvectors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.LoadSnapshot(bytes.NewReader(v1.Bytes())); err != nil {
+		t.Fatalf("v1 snapshot failed to load: %v", err)
+	}
+	if loaded.PQEnabled() {
+		t.Fatal("v1 snapshot cannot carry PQ codes")
+	}
+	if off := loaded.CoveredOffset(); off != 0 {
+		t.Fatalf("v1 snapshot produced covered offset %d", off)
+	}
+	req := &core.SearchRequest{Feature: feats[3], TopK: 5, NProbe: 8, Category: -1}
+	want, err := exact.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Hits) != len(got.Hits) || want.Hits[0].Image != got.Hits[0].Image {
+		t.Fatalf("v1-loaded shard disagrees with source: %+v vs %+v", got.Hits, want.Hits)
+	}
+
+	// Lazy re-encode: train PQ from the loaded shard's own rows.
+	if err := loaded.TrainPQStored(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.PQEnabled() {
+		t.Fatal("TrainPQStored did not enable PQ")
+	}
+	if st := loaded.Stats(); st.PQCodes != st.Images {
+		t.Fatalf("re-encode produced %d codes for %d images", st.PQCodes, st.Images)
+	}
+	adc, err := loaded.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adc.Hits) == 0 || adc.Hits[0].Image != want.Hits[0].Image {
+		t.Fatalf("re-encoded shard lost the nearest neighbour: %+v vs %+v", adc.Hits, want.Hits)
+	}
+}
+
+// TestSnapshotV2RoundTripPQ: a PQ-bearing snapshot must round-trip the
+// quantizer, the codes and the covered offset, and serve identical
+// results.
+func TestSnapshotV2RoundTripPQ(t *testing.T) {
+	const n, dim = 1500, 32
+	_, quant, feats := buildPQPair(t, n, dim, 16, 8)
+	quant.SetCoveredOffset(4242)
+
+	var buf bytes.Buffer
+	if err := quant.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := New(quant.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.PQEnabled() {
+		t.Fatal("PQ state lost in snapshot round trip")
+	}
+	if off := loaded.CoveredOffset(); off != 4242 {
+		t.Fatalf("covered offset %d, want 4242", off)
+	}
+	if st, wt := loaded.Stats(), quant.Stats(); st.PQCodes != wt.PQCodes || st.Images != wt.Images {
+		t.Fatalf("round trip stats %+v vs %+v", st, wt)
+	}
+	for qi := 0; qi < 10; qi++ {
+		req := &core.SearchRequest{Feature: feats[qi*7], TopK: 8, NProbe: 8, Category: -1}
+		want, err := quant.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Hits) != len(got.Hits) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(got.Hits), len(want.Hits))
+		}
+		for i := range want.Hits {
+			if want.Hits[i].Image != got.Hits[i].Image || want.Hits[i].Dist != got.Hits[i].Dist {
+				t.Fatalf("query %d hit %d: %+v vs %+v", qi, i, got.Hits[i], want.Hits[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotV2NoPQ: shards without a quantizer keep round-tripping
+// (flag byte 0) and stay on the exact path.
+func TestSnapshotV2NoPQ(t *testing.T) {
+	const n, dim = 800, 32
+	exact, _, feats := buildPQPair(t, n, dim, 16, 8)
+	var buf bytes.Buffer
+	if err := exact.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := New(exact.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PQEnabled() {
+		t.Fatal("exact shard grew a quantizer through the snapshot")
+	}
+	req := &core.SearchRequest{Feature: feats[1], TopK: 3, NProbe: 8, Category: -1}
+	want, _ := exact.Search(req)
+	got, err := loaded.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Hits[0].Image != got.Hits[0].Image {
+		t.Fatal("round-tripped exact shard disagrees")
+	}
+}
+
+// TestPQConfigValidation: PQSubvectors must divide Dim.
+func TestPQConfigValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 64, NLists: 4, PQSubvectors: 7}); err == nil {
+		t.Fatal("PQSubvectors 7 over Dim 64 accepted")
+	}
+	s, err := New(Config{Dim: 64, NLists: 4, PQSubvectors: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().PQSubvectors != 16 {
+		t.Fatalf("derived PQSubvectors = %d, want 16", s.Config().PQSubvectors)
+	}
+	if _, err := New(Config{Dim: 64, NLists: 4}); err != nil {
+		t.Fatal(err)
+	}
+}

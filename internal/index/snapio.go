@@ -8,6 +8,7 @@ import (
 
 	"jdvs/internal/bitmapx"
 	"jdvs/internal/kmeans"
+	"jdvs/internal/pq"
 )
 
 // writeCodebook serialises a codebook: [4B K][4B Dim][K*Dim float32].
@@ -45,6 +46,52 @@ func readCodebook(r io.Reader) (*kmeans.Codebook, error) {
 		cents[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
 	}
 	return &kmeans.Codebook{K: k, Dim: dim, Centroids: cents}, nil
+}
+
+// writePQCodebook serialises a product quantizer:
+// [4B M][4B Dim][M*256*(Dim/M) float32].
+func writePQCodebook(w io.Writer, cb *pq.Codebook) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(cb.M))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(cb.Dim))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(cb.Centroids))
+	for i, v := range cb.Centroids {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readPQCodebook(r io.Reader) (*pq.Codebook, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	dim := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if m <= 0 || dim <= 0 || dim > 1<<14 || m > dim || dim%m != 0 {
+		return nil, fmt.Errorf("index: corrupt pq codebook header (M=%d Dim=%d)", m, dim)
+	}
+	cb := &pq.Codebook{
+		M:         m,
+		Dim:       dim,
+		SubDim:    dim / m,
+		Centroids: make([]float32, m*pq.NCentroids*(dim/m)),
+	}
+	buf := make([]byte, 4*len(cb.Centroids))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	for i := range cb.Centroids {
+		cb.Centroids[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	if err := cb.Valid(); err != nil {
+		return nil, err
+	}
+	return cb, nil
 }
 
 // writeBitmap serialises the validity bitmap: [4B words][words*8B].

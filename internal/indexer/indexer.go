@@ -17,6 +17,7 @@ import (
 	"jdvs/internal/kmeans"
 	"jdvs/internal/mq"
 	"jdvs/internal/msg"
+	"jdvs/internal/pq"
 )
 
 // Resolver implements check-before-extract (Fig. 2): "the feature
@@ -159,6 +160,12 @@ func NewFull(cfg FullConfig, res *Resolver) (*FullIndexer, error) {
 	if err := checkShardConfig(cfg.Shard); err != nil {
 		return nil, err
 	}
+	// Resolve a derived PQ width here: Build decides whether to train a
+	// quantizer from this field before any shard's own config validation
+	// runs.
+	if cfg.Shard.PQSubvectors < 0 {
+		cfg.Shard.PQSubvectors = pq.DefaultSubvectors(cfg.Shard.Dim)
+	}
 	return &FullIndexer{cfg: cfg, res: res}, nil
 }
 
@@ -178,9 +185,14 @@ type imageState struct {
 
 // Build replays every partition of the updates topic from offset 0 and
 // returns freshly built shards (index p serves partition p) plus the
-// codebook they share.
+// codebook they share. Each shard records the queue offset its build
+// covered (Shard.CoveredOffset), so distributing its snapshot tells the
+// receiving searcher how far its real-time consumer may skip. When the
+// shard config enables PQSubvectors, one product quantizer is trained on
+// the same sample as the IVF codebook and installed on every shard, so
+// ADC codes agree across replicas.
 func (fi *FullIndexer) Build(q *mq.Queue) ([]*index.Shard, *kmeans.Codebook, error) {
-	states, err := fi.replay(q)
+	states, covered, err := fi.replay(q)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -222,6 +234,17 @@ func (fi *FullIndexer) Build(q *mq.Queue) ([]*index.Shard, *kmeans.Codebook, err
 	if err != nil {
 		return nil, nil, fmt.Errorf("indexer: train codebook: %w", err)
 	}
+	var pcb *pq.Codebook
+	if fi.cfg.Shard.PQSubvectors > 0 {
+		pcb, err = pq.Train(pq.Config{
+			Dim:  fi.cfg.Shard.Dim,
+			M:    fi.cfg.Shard.PQSubvectors,
+			Seed: fi.cfg.Seed,
+		}, train)
+		if err != nil {
+			return nil, nil, fmt.Errorf("indexer: train pq codebook: %w", err)
+		}
+	}
 
 	shards := make([]*index.Shard, fi.cfg.Partitions)
 	for p := range shards {
@@ -232,10 +255,18 @@ func (fi *FullIndexer) Build(q *mq.Queue) ([]*index.Shard, *kmeans.Codebook, err
 		if err := s.SetCodebook(cb); err != nil {
 			return nil, nil, err
 		}
+		if pcb != nil {
+			if err := s.SetPQCodebook(pcb); err != nil {
+				return nil, nil, err
+			}
+		}
 		for _, rv := range perPartition[p] {
 			if _, _, err := s.Insert(rv.attrs, rv.feature); err != nil {
 				return nil, nil, fmt.Errorf("indexer: full build insert %s: %w", rv.attrs.URL, err)
 			}
+		}
+		if p < len(covered) {
+			s.SetCoveredOffset(covered[p])
 		}
 		shards[p] = s
 	}
@@ -243,22 +274,24 @@ func (fi *FullIndexer) Build(q *mq.Queue) ([]*index.Shard, *kmeans.Codebook, err
 }
 
 // replay folds the day's log into final per-image state, processing each
-// partition's messages in order.
-func (fi *FullIndexer) replay(q *mq.Queue) (map[string]*imageState, error) {
+// partition's messages in order. It also returns, per partition, the next
+// offset a consumer resuming after this replay should read.
+func (fi *FullIndexer) replay(q *mq.Queue) (map[string]*imageState, []int64, error) {
 	nParts := q.Partitions(UpdatesTopic)
 	if nParts == 0 {
-		return nil, fmt.Errorf("indexer: topic %q does not exist", UpdatesTopic)
+		return nil, nil, fmt.Errorf("indexer: topic %q does not exist", UpdatesTopic)
 	}
 	states := make(map[string]*imageState)
+	covered := make([]int64, nParts)
 	for p := 0; p < nParts; p++ {
 		c, err := q.NewConsumer(UpdatesTopic, p, 0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for {
 			msgs, err := c.Poll(1024, 0)
 			if err != nil {
-				return nil, fmt.Errorf("indexer: replay partition %d: %w", p, err)
+				return nil, nil, fmt.Errorf("indexer: replay partition %d: %w", p, err)
 			}
 			if len(msgs) == 0 {
 				break
@@ -266,13 +299,14 @@ func (fi *FullIndexer) replay(q *mq.Queue) (map[string]*imageState, error) {
 			for _, m := range msgs {
 				u, err := msg.Decode(m.Payload)
 				if err != nil {
-					return nil, fmt.Errorf("indexer: replay decode (partition %d offset %d): %w", p, m.Offset, err)
+					return nil, nil, fmt.Errorf("indexer: replay decode (partition %d offset %d): %w", p, m.Offset, err)
 				}
 				fi.fold(states, u)
 			}
 		}
+		covered[p] = c.Offset()
 	}
-	return states, nil
+	return states, covered, nil
 }
 
 func (fi *FullIndexer) fold(states map[string]*imageState, u *msg.ProductUpdate) {

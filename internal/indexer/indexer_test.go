@@ -371,3 +371,55 @@ func TestNewFullValidation(t *testing.T) {
 		t.Fatal("missing shard config accepted")
 	}
 }
+
+// TestFullBuildCoveredOffsetsAndPQ: every built shard records the queue
+// offset its replay covered, and a PQ-configured build installs one shared
+// product quantizer with codes for every inserted image.
+func TestFullBuildCoveredOffsetsAndPQ(t *testing.T) {
+	const partitions = 2
+	f := newFixture(t, 20, partitions)
+	var seq uint64
+	for i := range f.cat.Products {
+		seq++
+		if _, err := RouteUpdate(f.queue, f.addEvent(&f.cat.Products[i], seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := NewFull(FullConfig{
+		Partitions: partitions,
+		Shard:      index.Config{Dim: testDim, NLists: 8, PQSubvectors: 4},
+		Seed:       1,
+	}, f.res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, _, err := fi.Build(f.queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range shards {
+		want, err := f.queue.Len(UpdatesTopic, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.CoveredOffset(); got != want {
+			t.Fatalf("partition %d covered offset %d, want queue length %d", p, got, want)
+		}
+		if !s.PQEnabled() {
+			t.Fatalf("partition %d built without PQ despite PQSubvectors", p)
+		}
+		if st := s.Stats(); st.PQCodes != st.Images {
+			t.Fatalf("partition %d: %d codes for %d images", p, st.PQCodes, st.Images)
+		}
+	}
+	// Shards share one quantizer: identical centroids across partitions.
+	a, b := shards[0].PQCodebook(), shards[1].PQCodebook()
+	if a == nil || b == nil || len(a.Centroids) != len(b.Centroids) {
+		t.Fatal("missing or mismatched pq codebooks")
+	}
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatal("partitions trained divergent pq codebooks")
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package pq implements product quantization for the asymmetric-distance
+// (ADC) scan path of the shard index.
+//
+// # Why
+//
+// The exact IVF scan reads a full Dim×4-byte float row out of the feature
+// matrix for every probed candidate, so per-shard scan throughput is bound
+// by memory bandwidth, not arithmetic — and shard capacity is bound by
+// feature-matrix bytes. Production visual-search systems (Visual Search at
+// Alibaba; Web-Scale Responsive Visual Search at Bing) scan compact
+// quantized codes instead and only touch raw features for a final exact
+// re-rank.
+//
+// # The math
+//
+// A feature vector of dimensionality Dim is split into M contiguous
+// subvectors of Dim/M components. Each subspace m gets its own codebook of
+// 256 centroids (trained by k-means over the training set's m-th
+// subvectors), so a vector quantizes to M bytes — its nearest centroid
+// index in every subspace. A 512-dim float vector (2 KiB) becomes, at
+// M=64, a 64-byte code: 32× less memory traffic on the scan path.
+//
+// At query time the query vector is NOT quantized (that is the "asymmetric"
+// in ADC — it keeps the quantization error one-sided). Instead a lookup
+// table lut[m][c] = ‖query_m − centroid_{m,c}‖² is built once per query
+// (M×256 squared distances over Dim/M components ≈ one exact scan of 256
+// candidates, amortised over every candidate scanned). The approximate
+// squared distance to a stored code is then
+//
+//	dist(q, code) ≈ Σ_m lut[m][code[m]]
+//
+// — M table lookups and adds per candidate instead of Dim subtract/
+// multiply/adds over Dim×4 bytes of floats.
+//
+// # The trade-off
+//
+// ADC distances carry the subspace quantization error, so the scan
+// over-fetches (RerankK ≥ k candidates) and the caller re-ranks that short
+// list exactly against the raw feature rows before returning the final
+// top-k. Memory per image drops from Dim×4 bytes to M bytes on the scan
+// path (the raw rows remain, touched only RerankK times per query), and
+// recall@k of the re-ranked result stays within a few percent of the exact
+// scan when RerankK is a small multiple of k (the index package guards
+// this with a recall test).
+package pq
+
+import (
+	"errors"
+	"fmt"
+
+	"jdvs/internal/kmeans"
+	"jdvs/internal/vecmath"
+)
+
+// NCentroids is the number of centroids per subquantizer. Fixed at 256 so
+// one code component is exactly one byte.
+const NCentroids = 256
+
+// Config parameterises training.
+type Config struct {
+	// Dim is the full feature dimensionality. Required.
+	Dim int
+	// M is the number of subquantizers (code bytes per vector). Required;
+	// must divide Dim.
+	M int
+	// MaxIters bounds each subquantizer's Lloyd iterations (default 15 —
+	// subspace codebooks converge faster than the IVF codebook and there
+	// are M of them to train).
+	MaxIters int
+	// Seed makes training deterministic. Subquantizer m trains with
+	// Seed+m.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Dim <= 0 {
+		return errors.New("pq: Dim must be positive")
+	}
+	if c.M <= 0 {
+		return errors.New("pq: M must be positive")
+	}
+	if c.Dim%c.M != 0 {
+		return fmt.Errorf("pq: M %d must divide Dim %d", c.M, c.Dim)
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 15
+	}
+	return nil
+}
+
+// Codebook is a trained product quantizer: M subquantizers of NCentroids
+// centroids each over Dim/M-component subspaces.
+type Codebook struct {
+	Dim    int
+	M      int
+	SubDim int // Dim / M
+	// Centroids is flat: subquantizer m's centroid c occupies
+	// Centroids[(m*NCentroids+c)*SubDim : ...+SubDim].
+	Centroids []float32
+}
+
+// Valid performs structural sanity checks (used when a codebook arrives
+// from a snapshot rather than Train).
+func (cb *Codebook) Valid() error {
+	if cb.Dim <= 0 || cb.M <= 0 || cb.SubDim <= 0 || cb.M*cb.SubDim != cb.Dim {
+		return fmt.Errorf("pq: inconsistent codebook shape (Dim=%d M=%d SubDim=%d)", cb.Dim, cb.M, cb.SubDim)
+	}
+	if len(cb.Centroids) != cb.M*NCentroids*cb.SubDim {
+		return fmt.Errorf("pq: codebook has %d centroid floats, want %d", len(cb.Centroids), cb.M*NCentroids*cb.SubDim)
+	}
+	return nil
+}
+
+// subCentroids returns subquantizer m's flat NCentroids×SubDim matrix.
+func (cb *Codebook) subCentroids(m int) []float32 {
+	start := m * NCentroids * cb.SubDim
+	return cb.Centroids[start : start+NCentroids*cb.SubDim]
+}
+
+// Train fits a product quantizer on the training vectors (flat row-major
+// n×cfg.Dim). Fewer than NCentroids distinct subvectors is fine: the
+// underlying k-means seeds surplus centroids from perturbed data rows.
+func Train(cfg Config, data []float32) (*Codebook, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(data)%cfg.Dim != 0 {
+		return nil, fmt.Errorf("pq: data length %d is not a multiple of dim %d", len(data), cfg.Dim)
+	}
+	n := len(data) / cfg.Dim
+	if n == 0 {
+		return nil, errors.New("pq: no training data")
+	}
+	subDim := cfg.Dim / cfg.M
+	cb := &Codebook{
+		Dim:       cfg.Dim,
+		M:         cfg.M,
+		SubDim:    subDim,
+		Centroids: make([]float32, cfg.M*NCentroids*subDim),
+	}
+	// Train each subspace independently over the m-th subvector column
+	// block, gathered contiguously for the kmeans kernel.
+	sub := make([]float32, n*subDim)
+	for m := 0; m < cfg.M; m++ {
+		off := m * subDim
+		for i := 0; i < n; i++ {
+			copy(sub[i*subDim:(i+1)*subDim], data[i*cfg.Dim+off:i*cfg.Dim+off+subDim])
+		}
+		kcb, err := kmeans.Train(kmeans.Config{
+			K:        NCentroids,
+			Dim:      subDim,
+			MaxIters: cfg.MaxIters,
+			Seed:     cfg.Seed + int64(m),
+		}, sub)
+		if err != nil {
+			return nil, fmt.Errorf("pq: train subquantizer %d: %w", m, err)
+		}
+		copy(cb.subCentroids(m), kcb.Centroids)
+	}
+	return cb, nil
+}
+
+// Encode quantizes v into code (len M): code[m] is the index of the
+// nearest centroid of subquantizer m to v's m-th subvector.
+func (cb *Codebook) Encode(v []float32, code []byte) error {
+	if len(v) != cb.Dim {
+		return fmt.Errorf("pq: encode dim %d, codebook dim %d", len(v), cb.Dim)
+	}
+	if len(code) != cb.M {
+		return fmt.Errorf("pq: code length %d, want M=%d", len(code), cb.M)
+	}
+	for m := 0; m < cb.M; m++ {
+		sub := v[m*cb.SubDim : (m+1)*cb.SubDim]
+		best, _ := vecmath.NearestCentroid(sub, cb.subCentroids(m), cb.SubDim)
+		code[m] = byte(best)
+	}
+	return nil
+}
+
+// Decode reconstructs the centroid approximation of code into out
+// (len Dim) — the vector ADC distances are actually measured to. Used by
+// tests to bound quantization error.
+func (cb *Codebook) Decode(code []byte, out []float32) error {
+	if len(code) != cb.M {
+		return fmt.Errorf("pq: code length %d, want M=%d", len(code), cb.M)
+	}
+	if len(out) != cb.Dim {
+		return fmt.Errorf("pq: decode dim %d, codebook dim %d", len(out), cb.Dim)
+	}
+	for m := 0; m < cb.M; m++ {
+		cents := cb.subCentroids(m)
+		c := int(code[m])
+		copy(out[m*cb.SubDim:(m+1)*cb.SubDim], cents[c*cb.SubDim:(c+1)*cb.SubDim])
+	}
+	return nil
+}
+
+// LUTSize returns the float32 count of one query's distance table.
+func (cb *Codebook) LUTSize() int { return cb.M * NCentroids }
+
+// BuildLUT fills the per-query asymmetric distance table into lut, growing
+// it if needed, and returns it: lut[m*NCentroids+c] is the squared L2
+// distance between q's m-th subvector and centroid c of subquantizer m.
+// Passing a retained buffer makes repeated queries allocation-free.
+func (cb *Codebook) BuildLUT(q []float32, lut []float32) ([]float32, error) {
+	if len(q) != cb.Dim {
+		return nil, fmt.Errorf("pq: query dim %d, codebook dim %d", len(q), cb.Dim)
+	}
+	need := cb.LUTSize()
+	if cap(lut) < need {
+		lut = make([]float32, need)
+	}
+	lut = lut[:need]
+	for m := 0; m < cb.M; m++ {
+		sub := q[m*cb.SubDim : (m+1)*cb.SubDim]
+		cents := cb.subCentroids(m)
+		row := lut[m*NCentroids : (m+1)*NCentroids]
+		for c := 0; c < NCentroids; c++ {
+			row[c] = vecmath.L2Squared(sub, cents[c*cb.SubDim:(c+1)*cb.SubDim])
+		}
+	}
+	return lut, nil
+}
+
+// ADCDist returns the asymmetric approximate squared distance of one code
+// against a query's lookup table: Σ_m lut[m*NCentroids+code[m]]. The inner
+// loop is unrolled by four like vecmath.L2Squared; four independent
+// accumulators keep the adds off one dependency chain.
+func ADCDist(lut []float32, code []byte) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(code); i += 4 {
+		// Reslicing to a constant length lets the compiler prove every
+		// byte-derived index (< 4×NCentroids) in bounds: one slice check
+		// per four lookups instead of four.
+		l := lut[:4*NCentroids]
+		s0 += l[code[i]]
+		s1 += l[NCentroids+int(code[i+1])]
+		s2 += l[2*NCentroids+int(code[i+2])]
+		s3 += l[3*NCentroids+int(code[i+3])]
+		lut = lut[4*NCentroids:]
+	}
+	for ; i < len(code); i++ {
+		s0 += lut[:NCentroids][code[i]]
+		lut = lut[NCentroids:]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// ADCScan scores a contiguous block of n codes (codes holds n×m bytes,
+// code i at codes[i*m:(i+1)*m]) against lut, writing distances into out
+// and returning it. This is the benchmark kernel for the code-block layout
+// the shard's code matrix stores; the shard scan itself scores per
+// candidate via ADCDist because IVF candidates are scattered by image ID.
+func ADCScan(lut []float32, codes []byte, m int, out []float32) []float32 {
+	if m <= 0 || len(codes)%m != 0 {
+		panic("pq: bad code block layout")
+	}
+	n := len(codes) / m
+	if cap(out) < n {
+		out = make([]float32, n)
+	}
+	out = out[:n]
+	for i := 0; i < n; i++ {
+		out[i] = ADCDist(lut, codes[i*m:(i+1)*m])
+	}
+	return out
+}
+
+// DefaultSubvectors picks an M for dim when the caller does not: the
+// largest divisor of dim not exceeding dim/4 (4 components per subspace
+// keeps quantization error low while still compressing 16× against
+// float32 rows), floored at 1.
+func DefaultSubvectors(dim int) int {
+	if dim <= 0 {
+		return 1
+	}
+	target := dim / 4
+	if target < 1 {
+		target = 1
+	}
+	for m := target; m > 1; m-- {
+		if dim%m == 0 {
+			return m
+		}
+	}
+	return 1
+}

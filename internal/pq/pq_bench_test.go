@@ -1,0 +1,82 @@
+package pq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jdvs/internal/vecmath"
+)
+
+// benchSetup trains a quantizer over clustered vectors and returns the
+// query LUT, the encoded code block, and the raw float rows for the exact
+// baseline.
+func benchSetup(b *testing.B, n, dim, m int) (lut []float32, codes []byte, rows []float32, q []float32) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	rows = clusteredData(rng, n, dim, 32, 0.2)
+	cb, err := Train(Config{Dim: dim, M: m, Seed: 1}, rows[:min(n, 2000)*dim])
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes = make([]byte, n*m)
+	for i := 0; i < n; i++ {
+		if err := cb.Encode(rows[i*dim:(i+1)*dim], codes[i*m:(i+1)*m]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q = rows[:dim]
+	lut, err = cb.BuildLUT(q, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lut, codes, rows, q
+}
+
+// BenchmarkScanKernel compares the per-candidate scoring kernels over a
+// contiguous block of n candidates: the exact float path reads dim×4
+// bytes per candidate, the ADC path reads m bytes plus m table lookups.
+// n is sized so the float rows exceed cache — the production condition
+// the ADC path exists for — while the codes and LUT stay resident. This
+// is the raw memory-bandwidth trade the IVF-ADC scan path buys.
+func BenchmarkScanKernel(b *testing.B) {
+	const n = 65536
+	for _, shape := range []struct{ dim, m int }{{64, 16}, {128, 32}} {
+		lut, codes, rows, q := benchSetup(b, n, shape.dim, shape.m)
+		out := make([]float32, n)
+		b.Run(fmt.Sprintf("dim=%d/path=exact", shape.dim), func(b *testing.B) {
+			b.SetBytes(int64(n * shape.dim * 4))
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					out[j] = vecmath.L2Squared(q, rows[j*shape.dim:(j+1)*shape.dim])
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dim=%d/path=adc", shape.dim), func(b *testing.B) {
+			b.SetBytes(int64(n * shape.m))
+			for i := 0; i < b.N; i++ {
+				ADCScan(lut, codes, shape.m, out)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildLUT is the per-query fixed cost the ADC path pays before
+// scanning a single candidate; it amortises over the scan.
+func BenchmarkBuildLUT(b *testing.B) {
+	lut, _, _, q := benchSetup(b, 2048, 64, 16)
+	rng := rand.New(rand.NewSource(21))
+	data := clusteredData(rng, 2000, 64, 32, 0.2)
+	cb, err := Train(Config{Dim: 64, M: 16, Seed: 1}, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lut, err = cb.BuildLUT(q, lut)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -13,12 +13,16 @@ package rpc
 //	commit: [8B sessionID][8B chunks][8B bytes][4B crc32c(stream)] → empty
 //	abort:  [8B sessionID]                          → empty
 //
-// Chunks carry a strictly sequential sequence number and a CRC-32C over
-// their data; commit re-states the chunk count, total byte count and the
-// running CRC-32C of the whole stream, so a reordered, duplicated, torn or
-// corrupted transfer can never be installed. The receiver enforces an idle
-// timeout between chunks: a sender that vanishes mid-stream leaves nothing
-// behind once the timeout reaps its session.
+// Chunks carry a sequential sequence number and a CRC-32C over their data;
+// commit re-states the chunk count, total byte count and the running
+// CRC-32C of the whole stream, so a duplicated, torn or corrupted transfer
+// can never be installed. The sender pipelines a small window of chunk
+// requests over the multiplexed connection to hide per-chunk round trips;
+// the receiver buffers chunks up to StreamReorderWindow ahead of the next
+// expected sequence number and feeds the sink strictly in order (anything
+// further out of sequence kills the transfer). The receiver also enforces
+// an idle timeout between chunks: a sender that vanishes mid-stream leaves
+// nothing behind once the timeout reaps its session.
 
 import (
 	"context"
@@ -45,6 +49,24 @@ const (
 	// MaxChunkData bounds one chunk's data so its request frame stays under
 	// MaxFrame.
 	MaxChunkData = MaxFrame - reqHeader - chunkHeaderLen
+
+	// DefaultStreamWindow is the number of chunk requests a StreamSender
+	// keeps in flight by default. One chunk per round trip makes WAN
+	// throughput chunkSize/RTT; a small pipeline window hides the round
+	// trips without materially raising peak memory (window × chunk size).
+	DefaultStreamWindow = 4
+
+	// StreamReorderWindow bounds how far ahead of the next expected
+	// sequence number the receiver accepts a chunk. Pipelined chunks are
+	// dispatched concurrently over one multiplexed connection, so the
+	// server may process them slightly out of order; chunks within the
+	// window are buffered and written in sequence, chunks beyond it kill
+	// the session. A chunk is acknowledged only once it has reached the
+	// sink in order (buffered chunks park their handler until the gap
+	// fills), so a well-behaved sender — whose in-flight window is capped
+	// to this — can never legitimately run past it: an acknowledged
+	// sequence number implies every earlier one was written.
+	StreamReorderWindow = 16
 )
 
 var (
@@ -131,11 +153,18 @@ func DecodeStreamCommit(p []byte) (session, chunks, bytes uint64, sum uint32, er
 
 // StreamSender uploads a byte stream to a server as a chunked session. It
 // is an io.Writer: producers serialise straight into it and it ships a
-// chunk each time its buffer fills, so peak sender memory is O(chunk), not
-// O(stream). The begin call is lazy — issued only when the stream outgrows
-// one chunk — so a stream that fits in a single chunk sends nothing;
-// Finish then reports streamed=false and the caller can deliver Buffered()
-// however it likes (e.g. a legacy single-frame method).
+// chunk each time its buffer fills, so peak sender memory is
+// O(window × chunk), not O(stream). The begin call is lazy — issued only
+// when the stream outgrows one chunk — so a stream that fits in a single
+// chunk sends nothing; Finish then reports streamed=false and the caller
+// can deliver Buffered() however it likes (e.g. a legacy single-frame
+// method).
+//
+// Chunk requests are pipelined: up to the configured window (default
+// DefaultStreamWindow) are in flight concurrently over the multiplexed
+// connection, so sustained throughput is window×chunkSize per round trip
+// instead of one. The receiver reorders within StreamReorderWindow, which
+// the window is capped to.
 //
 // Not safe for concurrent use.
 type StreamSender struct {
@@ -143,6 +172,7 @@ type StreamSender struct {
 	c         *Client
 	m         StreamMethods
 	chunkSize int
+	window    int
 
 	begun   bool
 	session uint64
@@ -151,10 +181,19 @@ type StreamSender struct {
 	total   uint64
 	sum     uint32
 	err     error // sticky
+
+	// In-flight chunk machinery, created on first flush.
+	sem  chan struct{} // window slots
+	free chan []byte   // recycled chunk buffers
+	wg   sync.WaitGroup
+
+	asyncMu  sync.Mutex
+	asyncErr error // first failure from an in-flight chunk call
 }
 
 // NewStreamSender prepares a sender over c. chunkSize <= 0 takes
-// DefaultChunkSize; values above MaxChunkData are capped.
+// DefaultChunkSize; values above MaxChunkData are capped. The pipeline
+// window defaults to DefaultStreamWindow; see SetWindow.
 func NewStreamSender(ctx context.Context, c *Client, m StreamMethods, chunkSize int) *StreamSender {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
@@ -162,11 +201,28 @@ func NewStreamSender(ctx context.Context, c *Client, m StreamMethods, chunkSize 
 	if chunkSize > MaxChunkData {
 		chunkSize = MaxChunkData
 	}
-	return &StreamSender{ctx: ctx, c: c, m: m, chunkSize: chunkSize}
+	return &StreamSender{ctx: ctx, c: c, m: m, chunkSize: chunkSize, window: DefaultStreamWindow}
+}
+
+// SetWindow adjusts how many chunk requests may be in flight at once
+// (1 restores strict one-chunk-per-round-trip sending). Values are
+// clamped to [1, StreamReorderWindow]. Must be called before the first
+// Write.
+func (s *StreamSender) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > StreamReorderWindow {
+		n = StreamReorderWindow
+	}
+	s.window = n
 }
 
 // Write implements io.Writer, shipping a chunk whenever the buffer fills.
 func (s *StreamSender) Write(p []byte) (int, error) {
+	if s.err == nil {
+		s.err = s.takeAsyncErr()
+	}
 	if s.err != nil {
 		return 0, s.err
 	}
@@ -189,7 +245,25 @@ func (s *StreamSender) Write(p []byte) (int, error) {
 	return written, nil
 }
 
-// flush ships the buffered chunk, beginning the session first if needed.
+// takeAsyncErr promotes the first in-flight chunk failure to the sticky
+// error.
+func (s *StreamSender) takeAsyncErr() error {
+	s.asyncMu.Lock()
+	defer s.asyncMu.Unlock()
+	return s.asyncErr
+}
+
+func (s *StreamSender) setAsyncErr(err error) {
+	s.asyncMu.Lock()
+	if s.asyncErr == nil {
+		s.asyncErr = err
+	}
+	s.asyncMu.Unlock()
+}
+
+// flush dispatches the buffered chunk, beginning the session first if
+// needed. The chunk request goes out asynchronously; flush only blocks
+// when the pipeline window is full.
 func (s *StreamSender) flush() error {
 	if !s.begun {
 		resp, err := s.c.Call(s.ctx, s.m.Begin, nil)
@@ -204,23 +278,53 @@ func (s *StreamSender) flush() error {
 		}
 		s.session = id
 		s.begun = true
+		s.sem = make(chan struct{}, s.window)
+		s.free = make(chan []byte, s.window)
 	}
-	if _, err := s.c.Call(s.ctx, s.m.Chunk, EncodeStreamChunk(s.session, s.seq, s.buf)); err != nil {
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.ctx.Done():
+		s.err = s.ctx.Err()
+		return s.err
+	}
+	if err := s.takeAsyncErr(); err != nil {
+		<-s.sem
 		s.err = err
 		return err
 	}
-	s.sum = crc32.Update(s.sum, crcTable, s.buf)
+	// Hand the filled buffer to the in-flight call and keep accounting in
+	// dispatch (= sequence) order; flush itself is never concurrent.
+	data := s.buf
+	payload := EncodeStreamChunk(s.session, s.seq, data)
+	s.sum = crc32.Update(s.sum, crcTable, data)
 	s.seq++
-	s.total += uint64(len(s.buf))
-	s.buf = s.buf[:0]
+	s.total += uint64(len(data))
+	select {
+	case b := <-s.free:
+		s.buf = b[:0]
+	default:
+		s.buf = make([]byte, 0, s.chunkSize)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if _, err := s.c.Call(s.ctx, s.m.Chunk, payload); err != nil {
+			s.setAsyncErr(err)
+		}
+		select {
+		case s.free <- data:
+		default:
+		}
+		<-s.sem
+	}()
 	return nil
 }
 
 // Finish completes the transfer. If the whole stream fit inside one chunk
 // no session was ever begun: Finish sends nothing and returns
 // streamed=false, leaving the bytes in Buffered(). Otherwise it flushes
-// the tail chunk and commits the session, which installs the stream
-// server-side.
+// the tail chunk, drains the pipeline, and commits the session, which
+// installs the stream server-side.
 func (s *StreamSender) Finish() (streamed bool, err error) {
 	if s.err != nil {
 		return s.begun, s.err
@@ -230,8 +334,14 @@ func (s *StreamSender) Finish() (streamed bool, err error) {
 	}
 	if len(s.buf) > 0 {
 		if err := s.flush(); err != nil {
+			s.wg.Wait()
 			return true, err
 		}
+	}
+	s.wg.Wait()
+	if err := s.takeAsyncErr(); err != nil {
+		s.err = err
+		return true, err
 	}
 	if _, err := s.c.Call(s.ctx, s.m.Commit, EncodeStreamCommit(s.session, s.seq, s.total, s.sum)); err != nil {
 		s.err = err
@@ -251,6 +361,7 @@ func (s *StreamSender) Abort() {
 	if !s.begun {
 		return
 	}
+	s.wg.Wait() // let in-flight chunks settle before reaping the session
 	// Use a fresh context: Abort is typically called on the failure path
 	// where s.ctx may already be cancelled, and the reap must still go out.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -285,13 +396,48 @@ type StreamServer struct {
 }
 
 type streamSession struct {
-	id      uint64
-	sink    StreamSink
+	id    uint64
+	sink  StreamSink
+	timer *time.Timer
+	epoch uint64 // invalidates in-flight timer fires; guarded by StreamServer.mu
+
+	// mu serialises all sink access and ordering state: pipelined senders
+	// dispatch chunks concurrently, so several chunk handlers (and the
+	// idle reaper) can address one session at once.
+	mu      sync.Mutex
+	dead    bool // sink already committed or aborted; reject further use
 	nextSeq uint64
 	bytes   uint64
 	sum     uint32
-	timer   *time.Timer
-	epoch   uint64 // invalidates in-flight timer fires
+	// pending buffers chunks that arrived ahead of nextSeq (at most
+	// StreamReorderWindow of them); they drain to the sink in sequence as
+	// the gap fills. drained (a cond on mu) wakes the parked handlers of
+	// buffered chunks when nextSeq advances or the session dies — a chunk
+	// is only acknowledged once written, which is what keeps a pipelined
+	// sender from ever outrunning the reorder window.
+	pending map[uint64][]byte
+	drained *sync.Cond
+}
+
+// writeOrdered writes data, then drains any buffered chunks that have
+// become consecutive and wakes their parked handlers. Caller holds
+// sess.mu.
+func (sess *streamSession) writeOrdered(data []byte) error {
+	for {
+		if _, err := sess.sink.Write(data); err != nil {
+			return err
+		}
+		sess.nextSeq++
+		sess.bytes += uint64(len(data))
+		sess.sum = crc32.Update(sess.sum, crcTable, data)
+		next, ok := sess.pending[sess.nextSeq]
+		if !ok {
+			sess.drained.Broadcast()
+			return nil
+		}
+		delete(sess.pending, sess.nextSeq)
+		data = next
+	}
 }
 
 const (
@@ -348,8 +494,33 @@ func (ss *StreamServer) arm(sess *streamSession) {
 		}
 		delete(ss.sessions, sess.id)
 		ss.mu.Unlock()
-		sess.sink.Abort()
+		sess.abortOnce()
 	})
+}
+
+// abortOnce aborts the session's sink exactly once, waiting out any chunk
+// write in progress and releasing any parked buffered-chunk handlers.
+func (sess *streamSession) abortOnce() {
+	sess.mu.Lock()
+	already := sess.dead
+	sess.dead = true
+	sess.drained.Broadcast()
+	sess.mu.Unlock()
+	if !already {
+		sess.sink.Abort()
+	}
+}
+
+// kill removes the session from the table (if still there) and aborts its
+// sink.
+func (ss *StreamServer) kill(sess *streamSession) {
+	ss.mu.Lock()
+	if cur, ok := ss.sessions[sess.id]; ok && cur == sess {
+		delete(ss.sessions, sess.id)
+		sess.disarm()
+	}
+	ss.mu.Unlock()
+	sess.abortOnce()
 }
 
 // disarm invalidates any pending idle fire. Caller holds ss.mu.
@@ -392,6 +563,7 @@ func (ss *StreamServer) HandleBegin([]byte) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	sess := &streamSession{id: id, sink: sink}
+	sess.drained = sync.NewCond(&sess.mu)
 	ss.sessions[id] = sess
 	ss.arm(sess)
 	ss.mu.Unlock()
@@ -412,7 +584,11 @@ func (ss *StreamServer) take(id uint64) *streamSession {
 	return sess
 }
 
-// HandleChunk verifies and applies one chunk.
+// HandleChunk verifies and applies one chunk. Chunks of one session may be
+// handled concurrently (the pipelined sender keeps a window in flight and
+// the server runs one goroutine per request): in-order chunks stream to
+// the sink immediately, chunks up to StreamReorderWindow ahead are
+// buffered and drained in sequence, anything else dooms the transfer.
 func (ss *StreamServer) HandleChunk(payload []byte) ([]byte, error) {
 	if len(payload) < chunkHeaderLen {
 		// Too short to even name a session; if the sender is gone the idle
@@ -423,41 +599,85 @@ func (ss *StreamServer) HandleChunk(payload []byte) ([]byte, error) {
 	seq := binary.LittleEndian.Uint64(payload[8:16])
 	sum := binary.LittleEndian.Uint32(payload[16:20])
 	data := payload[chunkHeaderLen:]
-	// Own the session while writing: chunks of one session are serialised
-	// by the sender, so removal + reinsert is race-free and keeps the idle
-	// timer from firing mid-write.
-	sess := ss.take(id)
-	if sess == nil {
+
+	ss.mu.Lock()
+	sess, ok := ss.sessions[id]
+	if ok {
+		// Hold the idle reaper off while this chunk is processed.
+		sess.disarm()
+	}
+	ss.mu.Unlock()
+	if !ok {
 		return nil, ErrUnknownSession
 	}
-	// The header parsed, so the session is identifiable: a corrupt or
-	// out-of-order chunk dooms the transfer and the session is torn down
-	// now rather than lingering until the idle timeout.
+	// The header parsed, so the session is identifiable: a corrupt,
+	// duplicated or out-of-window chunk dooms the transfer and the session
+	// is torn down now rather than lingering until the idle timeout.
 	if got := crc32.Checksum(data, crcTable); got != sum {
-		sess.sink.Abort()
+		ss.kill(sess)
 		return nil, fmt.Errorf("rpc: stream session %d chunk %d checksum mismatch (got %08x, want %08x)", id, seq, got, sum)
 	}
-	if seq != sess.nextSeq {
-		sess.sink.Abort()
-		return nil, fmt.Errorf("rpc: stream session %d chunk out of order (got seq %d, want %d)", id, seq, sess.nextSeq)
+
+	sess.mu.Lock()
+	if sess.dead {
+		sess.mu.Unlock()
+		return nil, ErrUnknownSession
 	}
-	if _, err := sess.sink.Write(data); err != nil {
-		sess.sink.Abort()
-		return nil, err
+	var ferr error
+	buffered := false
+	switch {
+	case seq < sess.nextSeq:
+		ferr = fmt.Errorf("rpc: stream session %d chunk %d duplicated (next seq %d)", id, seq, sess.nextSeq)
+	case seq > sess.nextSeq+StreamReorderWindow:
+		ferr = fmt.Errorf("rpc: stream session %d chunk %d beyond reorder window (next seq %d)", id, seq, sess.nextSeq)
+	case seq > sess.nextSeq:
+		if sess.pending == nil {
+			sess.pending = make(map[uint64][]byte)
+		}
+		if _, dup := sess.pending[seq]; dup {
+			ferr = fmt.Errorf("rpc: stream session %d chunk %d duplicated in reorder buffer", id, seq)
+		} else {
+			// data aliases this request's private frame; buffering it
+			// needs no copy.
+			sess.pending[seq] = data
+			buffered = true
+		}
+	default:
+		ferr = sess.writeOrdered(data)
 	}
-	sess.nextSeq++
-	sess.bytes += uint64(len(data))
-	sess.sum = crc32.Update(sess.sum, crcTable, data)
+	sess.mu.Unlock()
+	if ferr != nil {
+		ss.kill(sess)
+		return nil, ferr
+	}
 
 	ss.mu.Lock()
 	if ss.closed {
 		ss.mu.Unlock()
-		sess.sink.Abort()
+		sess.abortOnce()
 		return nil, ErrClosed
 	}
-	ss.sessions[id] = sess
-	ss.arm(sess)
+	if _, live := ss.sessions[id]; live {
+		ss.arm(sess)
+	}
 	ss.mu.Unlock()
+
+	if buffered {
+		// Park until the gap fills and this chunk reaches the sink (or the
+		// session dies — idle reaper, abort, or a doomed earlier chunk).
+		// Responding only once written means an acknowledged chunk implies
+		// all earlier ones were written, so a pipelined sender's window
+		// bounds how far past nextSeq it can ever dispatch.
+		sess.mu.Lock()
+		for !sess.dead && sess.nextSeq <= seq {
+			sess.drained.Wait()
+		}
+		delivered := sess.nextSeq > seq
+		sess.mu.Unlock()
+		if !delivered {
+			return nil, fmt.Errorf("rpc: stream session %d aborted while chunk %d awaited its gap", id, seq)
+		}
+	}
 	return nil, nil
 }
 
@@ -472,12 +692,26 @@ func (ss *StreamServer) HandleCommit(payload []byte) ([]byte, error) {
 	if sess == nil {
 		return nil, ErrUnknownSession
 	}
-	if chunks != sess.nextSeq || total != sess.bytes || sum != sess.sum {
-		sess.sink.Abort()
-		return nil, fmt.Errorf("rpc: stream session %d commit mismatch (got %d chunks/%d bytes/%08x, have %d/%d/%08x)",
-			id, chunks, total, sum, sess.nextSeq, sess.bytes, sess.sum)
+	sess.mu.Lock()
+	if sess.dead {
+		sess.mu.Unlock()
+		return nil, ErrUnknownSession
 	}
-	return nil, sess.sink.Commit()
+	if len(sess.pending) != 0 || chunks != sess.nextSeq || total != sess.bytes || sum != sess.sum {
+		sess.dead = true
+		sess.drained.Broadcast()
+		mismatch := fmt.Errorf("rpc: stream session %d commit mismatch (got %d chunks/%d bytes/%08x, have %d/%d/%08x, %d unsequenced)",
+			id, chunks, total, sum, sess.nextSeq, sess.bytes, sess.sum, len(sess.pending))
+		sess.mu.Unlock()
+		sess.sink.Abort()
+		return nil, mismatch
+	}
+	// Terminal: reject any stray chunk that races the commit.
+	sess.dead = true
+	sess.drained.Broadcast()
+	cerr := sess.sink.Commit()
+	sess.mu.Unlock()
+	return nil, cerr
 }
 
 // HandleAbort tears a session down. Aborting an unknown (already finished
@@ -488,7 +722,7 @@ func (ss *StreamServer) HandleAbort(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	if sess := ss.take(id); sess != nil {
-		sess.sink.Abort()
+		sess.abortOnce()
 	}
 	return nil, nil
 }
@@ -505,6 +739,6 @@ func (ss *StreamServer) Close() {
 	}
 	ss.mu.Unlock()
 	for _, sess := range reap {
-		sess.sink.Abort()
+		sess.abortOnce()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"strings"
@@ -223,9 +224,11 @@ func TestStreamSequenceViolationKillsSession(t *testing.T) {
 	defer c.Close()
 	id := beginSession(t, c)
 
-	// First chunk must be seq 0; send seq 1.
-	if _, err := c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, 1, []byte("x"))); err == nil {
-		t.Fatal("out-of-order chunk accepted")
+	// Chunks within the reorder window are buffered, but a sequence number
+	// beyond it can never come from a well-behaved sender.
+	far := uint64(StreamReorderWindow + 1)
+	if _, err := c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, far, []byte("x"))); err == nil {
+		t.Fatal("chunk beyond the reorder window accepted")
 	}
 	// The session is gone: even a correct chunk is now rejected.
 	if _, err := c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, 0, []byte("x"))); err == nil {
@@ -233,6 +236,177 @@ func TestStreamSequenceViolationKillsSession(t *testing.T) {
 	}
 	if _, committed, aborted := f.sink(t, 0).state(); committed != 0 || aborted != 1 {
 		t.Fatalf("committed=%d aborted=%d, want 0/1", committed, aborted)
+	}
+}
+
+// TestStreamReorderWithinWindow: chunks arriving out of order — as a
+// pipelined sender's concurrent requests may — are buffered and fed to
+// the sink strictly in sequence.
+func TestStreamReorderWithinWindow(t *testing.T) {
+	f := newStreamFixture(t, 0, 0)
+	c, err := Dial(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id := beginSession(t, c)
+
+	parts := [][]byte{[]byte("alpha-"), []byte("beta-"), []byte("gamma-"), []byte("delta")}
+	var sum uint32
+	var total uint64
+	for _, p := range parts {
+		sum = crc32.Update(sum, crcTable, p)
+		total += uint64(len(p))
+	}
+	// Deliver 2, 0, 3, 1 concurrently (a chunk ahead of the gap is only
+	// acknowledged once written, so out-of-order delivery must overlap,
+	// exactly as a pipelined sender's in-flight window does); every chunk
+	// stays within the reorder window of the lowest undelivered sequence
+	// number.
+	var wg sync.WaitGroup
+	errs := make([]error, len(parts))
+	for i, seq := range []uint64{2, 0, 3, 1} {
+		wg.Add(1)
+		go func(i int, seq uint64) {
+			defer wg.Done()
+			// Stagger so the buffered chunks park before the gap fills.
+			time.Sleep(time.Duration(i) * 10 * time.Millisecond)
+			_, errs[i] = c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, seq, parts[seq]))
+		}(i, seq)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("chunk call %d: %v", i, err)
+		}
+	}
+	if _, err := c.Call(context.Background(), testMethods.Commit, EncodeStreamCommit(id, uint64(len(parts)), total, sum)); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	data, committed, aborted := f.sink(t, 0).state()
+	if string(data) != "alpha-beta-gamma-delta" {
+		t.Fatalf("sink reassembled %q", data)
+	}
+	if committed != 1 || aborted != 0 {
+		t.Fatalf("committed=%d aborted=%d", committed, aborted)
+	}
+}
+
+// TestStreamDuplicateChunkKillsSession: a sequence number delivered twice
+// (already written, or already buffered) dooms the transfer.
+func TestStreamDuplicateChunkKillsSession(t *testing.T) {
+	f := newStreamFixture(t, 0, 0)
+	c, err := Dial(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id := beginSession(t, c)
+	if _, err := c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, 0, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, 0, []byte("x"))); err == nil {
+		t.Fatal("duplicate chunk accepted")
+	}
+	if _, committed, aborted := f.sink(t, 0).state(); committed != 0 || aborted != 1 {
+		t.Fatalf("committed=%d aborted=%d, want 0/1", committed, aborted)
+	}
+}
+
+// TestStreamCommitWithGapAborts: a commit while a buffered chunk still
+// waits on a missing sequence number must not install the stream, and
+// must release the parked chunk handler with an error rather than leaving
+// it waiting forever.
+func TestStreamCommitWithGapAborts(t *testing.T) {
+	f := newStreamFixture(t, 0, 0)
+	c, err := Dial(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id := beginSession(t, c)
+	// seq 1 parks awaiting seq 0, which is never sent.
+	chunkErr := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, 1, []byte("b")))
+		chunkErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the chunk buffer and park
+	sum := crc32.Checksum([]byte("b"), crcTable)
+	if _, err := c.Call(context.Background(), testMethods.Commit, EncodeStreamCommit(id, 2, 1, sum)); err == nil {
+		t.Fatal("commit over a sequence gap accepted")
+	}
+	select {
+	case err := <-chunkErr:
+		if err == nil {
+			t.Fatal("parked chunk acknowledged despite the gap never filling")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked chunk handler leaked past the aborted session")
+	}
+	if _, committed, aborted := f.sink(t, 0).state(); committed != 0 || aborted != 1 {
+		t.Fatalf("committed=%d aborted=%d, want 0/1", committed, aborted)
+	}
+}
+
+// TestStreamParkedChunkReapedByIdleTimeout: a buffered chunk whose gap
+// never fills (its sender died mid-window) must be released by the idle
+// reaper, not parked forever.
+func TestStreamParkedChunkReapedByIdleTimeout(t *testing.T) {
+	f := newStreamFixture(t, 40*time.Millisecond, 0)
+	c, err := Dial(f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id := beginSession(t, c)
+	if _, err := c.Call(context.Background(), testMethods.Chunk, EncodeStreamChunk(id, 1, []byte("b"))); err == nil {
+		t.Fatal("chunk parked on a never-filled gap was acknowledged")
+	}
+	if _, committed, aborted := f.sink(t, 0).state(); committed != 0 || aborted != 1 {
+		t.Fatalf("committed=%d aborted=%d, want 0/1", committed, aborted)
+	}
+}
+
+// TestStreamPipelinedRoundTrip pushes a payload through many tiny chunks
+// at several pipeline windows and checks byte-identical reassembly; the
+// concurrent dispatch exercises the receiver's reorder path under real
+// goroutine scheduling.
+func TestStreamPipelinedRoundTrip(t *testing.T) {
+	for _, window := range []int{1, 4, StreamReorderWindow} {
+		f := newStreamFixture(t, 0, 0)
+		c, err := Dial(f.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(window)))
+		payload := make([]byte, 40000)
+		rng.Read(payload)
+
+		s := NewStreamSender(context.Background(), c, testMethods, 128)
+		s.SetWindow(window)
+		for off := 0; off < len(payload); {
+			n := 1 + rng.Intn(500)
+			if off+n > len(payload) {
+				n = len(payload) - off
+			}
+			if _, err := s.Write(payload[off : off+n]); err != nil {
+				t.Fatalf("window=%d: %v", window, err)
+			}
+			off += n
+		}
+		streamed, err := s.Finish()
+		if err != nil || !streamed {
+			t.Fatalf("window=%d: streamed=%v err=%v", window, streamed, err)
+		}
+		data, committed, aborted := f.sink(t, 0).state()
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("window=%d: sink got %d bytes, want %d", window, len(data), len(payload))
+		}
+		if committed != 1 || aborted != 0 {
+			t.Fatalf("window=%d: committed=%d aborted=%d", window, committed, aborted)
+		}
+		c.Close()
 	}
 }
 

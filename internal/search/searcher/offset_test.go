@@ -1,0 +1,223 @@
+package searcher
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"jdvs/internal/index"
+	"jdvs/internal/indexer"
+	"jdvs/internal/msg"
+)
+
+// waitApplied polls until the searcher has applied at least n updates.
+func waitApplied(t *testing.T, s *Searcher, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Applied() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("applied %d, want %d", s.Applied(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPushSnapshotSkipsCoveredOffsets: a pushed snapshot that embeds the
+// queue offset it covers must fast-forward the receiving searcher's
+// real-time consumer past the replayed messages instead of re-applying
+// them one by one.
+func TestPushSnapshotSkipsCoveredOffsets(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard, Resolver: f.res, Queue: f.queue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+	event := func(sales uint32) *msg.ProductUpdate {
+		return &msg.ProductUpdate{
+			Type:       msg.TypeUpdateAttrs,
+			ProductID:  p.ID,
+			Category:   p.Category,
+			Sales:      sales,
+			Praise:     p.Praise,
+			PriceCents: p.PriceCents,
+			ImageURLs:  []string{url},
+		}
+	}
+
+	// Phase 1: live events are applied normally (offsets 0..4).
+	for i := 0; i < 5; i++ {
+		if _, err := indexer.RouteUpdate(f.queue, event(uint32(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitApplied(t, s, 5)
+
+	// Phase 2: push a snapshot claiming to cover offsets up to 9. The four
+	// events produced next (offsets 5..8) are "already folded into the
+	// snapshot" and must be skipped; the one after (offset 9) is live.
+	next, err := index.New(f.shard.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.shard.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	next.SetCoveredOffset(9)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := PushSnapshot(ctx, s.Addr(), next); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := indexer.RouteUpdate(f.queue, event(uint32(200+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := indexer.RouteUpdate(f.queue, event(999)); err != nil {
+		t.Fatal(err)
+	}
+
+	waitApplied(t, s, 6)
+	if got := s.OffsetSkips(); got != 4 {
+		t.Fatalf("OffsetSkips = %d, want 4", got)
+	}
+	if got := s.Applied(); got != 6 {
+		t.Fatalf("Applied = %d, want 6 (covered events re-applied?)", got)
+	}
+	// The live event landed: the shard serves its attribute update.
+	shard := s.Shard()
+	found := false
+	for _, id := range shard.ProductImages(p.ID) {
+		if a, ok := shard.Attrs(id); ok && a.URL == url && a.Sales == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("post-covered live event not applied to the pushed shard")
+	}
+}
+
+// TestSwapShardWatermarkFollowsServingShard: the skip watermark tracks
+// the covered offset of whichever shard is serving — including moving
+// backwards when an older build is installed, since messages above its
+// coverage must be (re)applied to it, not dropped.
+func TestSwapShardWatermarkFollowsServingShard(t *testing.T) {
+	f := newFixture(t, 5)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	clone := func(off int64) *index.Shard {
+		next, err := index.New(f.shard.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := f.shard.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := next.LoadSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		next.SetCoveredOffset(off)
+		return next
+	}
+	for _, off := range []int64{100, 40, 250} {
+		s.SwapShard(clone(off))
+		if got := s.skipTo.Load(); got != off {
+			t.Fatalf("watermark %d after installing covered=%d", got, off)
+		}
+		if got := s.resyncTo.Load(); got != off {
+			t.Fatalf("resync request %d after installing covered=%d", got, off)
+		}
+	}
+}
+
+// TestPushSnapshotRewindsOutrunConsumer: when the real-time consumer has
+// run ahead of a snapshot's covered offset — it applied updates to the
+// old shard while the new one was being built and pushed — installing the
+// snapshot must rewind the consumer so that gap is replayed onto the
+// fresh shard rather than silently lost until the next full build.
+func TestPushSnapshotRewindsOutrunConsumer(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard, Resolver: f.res, Queue: f.queue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+	event := func(sales uint32) *msg.ProductUpdate {
+		return &msg.ProductUpdate{
+			Type:       msg.TypeUpdateAttrs,
+			ProductID:  p.ID,
+			Category:   p.Category,
+			Sales:      sales,
+			Praise:     p.Praise,
+			PriceCents: p.PriceCents,
+			ImageURLs:  []string{url},
+		}
+	}
+	// The consumer applies offsets 0..4 to the serving shard.
+	for i := 0; i < 5; i++ {
+		if _, err := indexer.RouteUpdate(f.queue, event(uint32(300+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitApplied(t, s, 5)
+
+	// A snapshot whose build only covered offsets 0..1 arrives: it is
+	// missing the updates at offsets 2..4 that the live consumer already
+	// applied. The swap must rewind and replay them.
+	next, err := index.New(f.shard.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.shard.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Regress the marker product's sales so the replay is observable.
+	if err := next.UpdateAttrsURL(url, 1, p.Praise, p.PriceCents, p.Category); err != nil {
+		t.Fatal(err)
+	}
+	next.SetCoveredOffset(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := PushSnapshot(ctx, s.Addr(), next); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offsets 2..4 are replayed onto the fresh shard (idempotently), so
+	// applied reaches 5 + 3 and the shard carries the final sales value.
+	waitApplied(t, s, 8)
+	if got := s.OffsetSkips(); got != 0 {
+		t.Fatalf("OffsetSkips = %d during a rewind, want 0", got)
+	}
+	shard := s.Shard()
+	found := false
+	for _, id := range shard.ProductImages(p.ID) {
+		if a, ok := shard.Attrs(id); ok && a.URL == url && a.Sales == 304 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rewound replay did not restore the gap updates on the fresh shard")
+	}
+}

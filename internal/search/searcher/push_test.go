@@ -280,8 +280,10 @@ func TestPushDisconnectReapedByIdleTimeout(t *testing.T) {
 	}
 }
 
-// TestPushChunkSequenceViolation: a skipped sequence number kills the
-// session and never touches the serving shard.
+// TestPushChunkSequenceViolation: a sequence number beyond the pipeline
+// reorder window kills the session and never touches the serving shard.
+// (Sequence numbers within the window are buffered for in-order delivery,
+// so only an out-of-window chunk is a violation now.)
 func TestPushChunkSequenceViolation(t *testing.T) {
 	f := newFixture(t, 5)
 	s, err := New(Config{Shard: f.shard})
@@ -305,7 +307,7 @@ func TestPushChunkSequenceViolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := c.Call(ctx, search.MethodLoadIndexChunk,
-		rpc.EncodeStreamChunk(id, 3, []byte("out of order"))); err == nil {
+		rpc.EncodeStreamChunk(id, rpc.StreamReorderWindow+1, []byte("out of order"))); err == nil {
 		t.Fatal("out-of-order chunk accepted")
 	}
 	if got := s.LoadSessions(); got != 0 {
@@ -341,5 +343,77 @@ func TestPushSnapshotRejectsGarbage(t *testing.T) {
 	resp := callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[url], TopK: 1, NProbe: 8, Category: -1})
 	if len(resp.Hits) == 0 {
 		t.Fatal("index lost after rejected push")
+	}
+}
+
+// TestPushSnapshotPQMultiChunk: a PQ-enabled snapshot — quantizer, code
+// matrix and covered offset — must round-trip through the chunked
+// streaming push path and serve the ADC scan on the receiving searcher,
+// even though the receiver's original shard never had a quantizer.
+func TestPushSnapshotPQMultiChunk(t *testing.T) {
+	f := newFixture(t, 40)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	next, err := index.New(index.Config{Dim: testDim, NLists: 8, DefaultNProbe: 8, PQSubvectors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.SetCodebook(f.shard.Codebook()); err != nil {
+		t.Fatal(err)
+	}
+	var train []float32
+	for _, feat := range f.feats {
+		train = append(train, feat...)
+	}
+	if err := next.TrainPQ(train, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.cat.Products {
+		p := &f.cat.Products[i]
+		for _, url := range p.ImageURLs {
+			if _, _, err := next.Insert(p.Attrs(url), f.feats[url]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	next.SetCoveredOffset(123)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// A 4 KiB chunk forces a long multi-chunk session through the
+	// pipelined sender.
+	if err := PushSnapshotWith(ctx, s.Addr(), next, PushOptions{ChunkSize: 4 << 10}); err != nil {
+		t.Fatalf("PushSnapshotWith: %v", err)
+	}
+	got := s.Shard()
+	if !got.PQEnabled() {
+		t.Fatal("pushed PQ snapshot installed without its quantizer")
+	}
+	if off := got.CoveredOffset(); off != 123 {
+		t.Fatalf("covered offset %d, want 123", off)
+	}
+	if st := got.Stats(); st.PQCodes != st.Images || st.Images == 0 {
+		t.Fatalf("pushed shard has %d codes for %d images", st.PQCodes, st.Images)
+	}
+	// The ADC path agrees with the source shard on queries.
+	for i := 0; i < 5; i++ {
+		url := f.cat.Products[i].ImageURLs[0]
+		want, err := next.Search(&core.SearchRequest{Feature: f.feats[url], TopK: 5, NProbe: 8, Category: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[url], TopK: 5, NProbe: 8, Category: -1})
+		if len(resp.Hits) != len(want.Hits) {
+			t.Fatalf("query %d: %d hits, want %d", i, len(resp.Hits), len(want.Hits))
+		}
+		for j := range want.Hits {
+			if resp.Hits[j].Image.Local != want.Hits[j].Image.Local {
+				t.Fatalf("query %d hit %d: image %d, want %d", i, j, resp.Hits[j].Image.Local, want.Hits[j].Image.Local)
+			}
+		}
 	}
 }

@@ -114,6 +114,17 @@ type Searcher struct {
 	dropped       metrics.Counter // undecodable (poison) queue messages
 	applyErrors   metrics.Counter // decoded updates indexer.Apply rejected
 	snapshotLoads metrics.Counter // snapshots installed by push (both paths)
+	offsetSkips   metrics.Counter // queue messages skipped as snapshot-covered
+
+	// skipTo is the queue offset covered by the serving shard: the
+	// real-time consumer drops messages below it instead of re-applying
+	// them idempotently. resyncTo is a one-shot reposition request raised
+	// by SwapShard (-1 when none): forward of the consumer it skips the
+	// snapshot-covered span, behind the consumer it rewinds so the gap the
+	// consumer applied to the pre-swap shard is replayed onto the fresh
+	// one (updates are idempotent) instead of being lost.
+	skipTo   atomic.Int64
+	resyncTo atomic.Int64
 
 	addr   string
 	done   chan struct{}
@@ -142,6 +153,7 @@ func New(cfg Config) (*Searcher, error) {
 		searchWorkers: cfg.SearchWorkers,
 		done:          make(chan struct{}),
 	}
+	s.resyncTo.Store(-1)
 	if cfg.SearchDelay > 0 && cfg.SearchDelayFraction > 0 {
 		s.delay = cfg.SearchDelay
 		frac := cfg.SearchDelayFraction
@@ -196,11 +208,21 @@ func (s *Searcher) Shard() *index.Shard { return s.shard.Load() }
 // at the end of a full indexing cycle. In-flight searches finish on the
 // old shard; new searches see the new one. A configured SearchWorkers
 // override is re-applied so a pushed index keeps the node's parallelism.
+// If the incoming shard records the queue offset its build covered, the
+// real-time consumer resynchronises to it: a consumer behind the offset
+// skips straight past the snapshot-covered span, and a consumer ahead of
+// it rewinds to replay the gap it had applied to the outgoing shard —
+// otherwise those updates would be missing from the fresh index until the
+// next full build.
 func (s *Searcher) SwapShard(next *index.Shard) {
 	if s.searchWorkers > 0 {
 		next.SetSearchWorkers(s.searchWorkers)
 	}
 	s.shard.Store(next)
+	if covered := next.CoveredOffset(); covered > 0 {
+		s.skipTo.Store(covered)
+		s.resyncTo.Store(covered)
+	}
 }
 
 // Close stops serving and waits for the real-time loop to drain.
@@ -251,6 +273,9 @@ type Stats struct {
 	// in flight.
 	SnapshotLoads int64 `json:"snapshot_loads"`
 	LoadSessions  int   `json:"load_sessions"`
+	// OffsetSkips counts queue messages the real-time consumer skipped
+	// because an installed snapshot already covered their offsets.
+	OffsetSkips   int64 `json:"offset_skips"`
 	RTAvgMicros   int64 `json:"rt_avg_micros"`
 	RTP99Micros   int64 `json:"rt_p99_micros"`
 	QueueConsumed bool  `json:"queue_consumed"`
@@ -266,6 +291,7 @@ func (s *Searcher) handleStats([]byte) ([]byte, error) {
 		ApplyErrors:   s.applyErrors.Value(),
 		SnapshotLoads: s.snapshotLoads.Value(),
 		LoadSessions:  s.loads.Sessions(),
+		OffsetSkips:   s.offsetSkips.Value(),
 		RTAvgMicros:   s.rtLatency.Mean().Microseconds(),
 		RTP99Micros:   s.rtLatency.Percentile(99).Microseconds(),
 		QueueConsumed: s.queue != nil,
@@ -361,6 +387,9 @@ type PushOptions struct {
 	// skip the session entirely and go over the legacy single-frame
 	// MethodLoadIndex.
 	ChunkSize int
+	// Window is the number of chunk requests kept in flight (default
+	// rpc.DefaultStreamWindow; 1 sends one chunk per round trip).
+	Window int
 }
 
 // PushSnapshot serialises shard and installs it on the searcher at addr —
@@ -383,6 +412,9 @@ func PushSnapshotWith(ctx context.Context, addr string, shard *index.Shard, opts
 	}
 	defer c.Close()
 	sender := rpc.NewStreamSender(ctx, c, search.LoadIndexStream, opts.ChunkSize)
+	if opts.Window > 0 {
+		sender.SetWindow(opts.Window)
+	}
 	if err := shard.WriteSnapshot(sender); err != nil {
 		sender.Abort()
 		return fmt.Errorf("searcher: push snapshot: %w", err)
@@ -403,7 +435,11 @@ func PushSnapshotWith(ctx context.Context, addr string, shard *index.Shard, opts
 }
 
 // realtimeLoop is the Fig. 4 pipeline: receive each update message and
-// process it instantly against the live index.
+// process it instantly against the live index. A pushed snapshot (see
+// SwapShard) resynchronises the consumer to the offset the snapshot
+// covers: forward — the covered span is skipped, not re-applied — or
+// backward, replaying onto the fresh shard the updates the consumer had
+// applied to the old one while the snapshot was being built and pushed.
 func (s *Searcher) realtimeLoop(consumer *mq.Consumer) {
 	defer s.wg.Done()
 	for {
@@ -416,7 +452,31 @@ func (s *Searcher) realtimeLoop(consumer *mq.Consumer) {
 		if err != nil {
 			return // queue closed
 		}
+		// A resync request raised since the last batch repositions the
+		// consumer relative to this batch's start; the per-message skip
+		// below handles a target that falls inside the batch.
+		if r := s.resyncTo.Swap(-1); r >= 0 {
+			base := consumer.Offset() - int64(len(msgs))
+			if r < base {
+				// The consumer outran the snapshot build: offsets [r, base)
+				// reached only the pre-swap shard. Rewind and re-read;
+				// re-application is idempotent.
+				consumer.SeekTo(r)
+				continue
+			}
+			if r > consumer.Offset() {
+				s.offsetSkips.Add(r - consumer.Offset())
+				consumer.SeekTo(r)
+			}
+		}
+		// Re-read the watermark: a snapshot may have been installed while
+		// Poll was blocked, covering part or all of this batch.
+		skip := s.skipTo.Load()
 		for _, m := range msgs {
+			if m.Offset < skip {
+				s.offsetSkips.Inc()
+				continue
+			}
 			s.applyOne(m)
 		}
 	}
@@ -457,6 +517,10 @@ func (s *Searcher) ApplyErrors() int64 { return s.applyErrors.Value() }
 
 // SnapshotLoads returns the number of pushed snapshots installed.
 func (s *Searcher) SnapshotLoads() int64 { return s.snapshotLoads.Value() }
+
+// OffsetSkips returns the number of queue messages skipped because an
+// installed snapshot already covered them.
+func (s *Searcher) OffsetSkips() int64 { return s.offsetSkips.Value() }
 
 // LoadSessions returns the number of chunked snapshot transfers in flight.
 func (s *Searcher) LoadSessions() int { return s.loads.Sessions() }

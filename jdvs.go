@@ -18,7 +18,11 @@
 //     additionally striped across a pool of scan goroutines (§2.4
 //     multi-thread searching) — Config.SearchWorkers sets the width,
 //     defaulting to a GOMAXPROCS-derived value; 1 restores the serial
-//     scan.
+//     scan. With Config.PQSubvectors set, shards scan product-quantized
+//     codes (internal/pq): candidates cost M table lookups instead of a
+//     Dim×4-byte feature-row read, and the over-fetched top RerankK are
+//     re-ranked exactly before the final top-k — several times the scan
+//     throughput at recall@10 ≳ 0.97.
 //
 // Quick start (an in-process cluster over a synthetic catalog):
 //
