@@ -49,6 +49,8 @@ func run() error {
 		slowFrac   = flag.Float64("slow-replica-frac", 0, "hedge: fraction of the slow replica's searches delayed (0 = default 0.2)")
 		pqM        = flag.Int("pq-subvectors", 0, "fig12/fig13/hedge: product-quantization code bytes per image (0 = exact float scan, -1 = dimension-derived)")
 		pqRerank   = flag.Int("pq-rerank", 0, "fig12/fig13/hedge: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
+		featStore  = flag.String("feature-store", "", "fig12/fig13/hedge: where searcher shards keep raw feature rows: ram (default, dim×4 heap bytes/image) or mmap (rows in a page-cache-served spill file; RAM holds only the M-byte PQ codes)")
+		spillDir   = flag.String("spill-dir", "", "fig12/fig13/hedge: directory for feature-store spill files with -feature-store mmap (default: OS temp dir)")
 	)
 	flag.Parse()
 
@@ -78,6 +80,7 @@ func run() error {
 				Duration: *duration, Products: *products, Partitions: *partitions,
 				UpdateRate: *rate, Seed: *seed,
 				PQSubvectors: *pqM, RerankK: *pqRerank,
+				FeatureStore: *featStore, SpillDir: *spillDir,
 			})
 			if err != nil {
 				return err
@@ -87,6 +90,7 @@ func run() error {
 			res, err := experiments.RunFig13(experiments.Fig13Config{
 				Duration: *duration, Products: *products, Partitions: *partitions, Seed: *seed,
 				PQSubvectors: *pqM, RerankK: *pqRerank,
+				FeatureStore: *featStore, SpillDir: *spillDir,
 			})
 			if err != nil {
 				return err
@@ -102,6 +106,8 @@ func run() error {
 				SlowFraction: *slowFrac,
 				PQSubvectors: *pqM,
 				RerankK:      *pqRerank,
+				FeatureStore: *featStore,
+				SpillDir:     *spillDir,
 				Seed:         *seed,
 			})
 			if err != nil {

@@ -56,6 +56,8 @@ func run() error {
 		pqM       = flag.Int("pq-subvectors", 0, "searcher: product-quantization code bytes per image (must divide -dim; 0 = exact float scan, -1 = dimension-derived default)")
 		pqRerank  = flag.Int("pq-rerank", 0, "searcher: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
 		pqSample  = flag.Int("pq-train-sample", 10000, "searcher: stored rows used to train PQ when the snapshot carries no codes")
+		featStore = flag.String("feature-store", "", "searcher: where raw feature rows live: ram (default, dim×4 heap bytes per image) or mmap (rows tiered onto a page-cache-served spill file — RAM holds only the PQ codes, so one shard fits several× more images)")
+		spillDir  = flag.String("spill-dir", "", "searcher: directory for feature-store spill files with -feature-store mmap (default: OS temp dir; files are unlinked at creation)")
 		hedgeQ    = flag.Float64("hedge-quantile", 0, "broker: latency percentile that triggers a hedged replica request (0 = default 95, negative disables)")
 		hedgeMin  = flag.Duration("hedge-min-delay", 0, "broker: floor on the hedge delay (0 = default 1ms)")
 		hedgeFrac = flag.Float64("hedge-max-fraction", 0, "broker: hedge budget as a fraction of query volume (0 = default 0.1)")
@@ -71,7 +73,10 @@ func run() error {
 		if *snapshot == "" {
 			return fmt.Errorf("searcher needs -snapshot")
 		}
-		shard, err := index.New(index.Config{Dim: *dim, NLists: *nlists, PQSubvectors: *pqM, RerankK: *pqRerank})
+		shard, err := index.New(index.Config{
+			Dim: *dim, NLists: *nlists, PQSubvectors: *pqM, RerankK: *pqRerank,
+			FeatureStore: *featStore, SpillDir: *spillDir,
+		})
 		if err != nil {
 			return err
 		}
@@ -108,8 +113,9 @@ func run() error {
 		if shard.PQEnabled() {
 			scanPath = fmt.Sprintf("ADC scan, %d-byte codes", shard.PQCodebook().M)
 		}
-		fmt.Printf("searcher partition %d serving %d images (%d valid, %s) on %s\n",
-			*partition, st.Images, st.ValidImages, scanPath, boundAddr)
+		fmt.Printf("searcher partition %d serving %d images (%d valid, %s, %s feature store, %.1f MiB feature heap) on %s\n",
+			*partition, st.Images, st.ValidImages, scanPath, shard.Config().FeatureStore,
+			float64(st.FeatureHeapBytes)/(1<<20), boundAddr)
 
 	case "broker":
 		if *searchers == "" {

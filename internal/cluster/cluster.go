@@ -70,6 +70,15 @@ type Config struct {
 	// 10×TopK).
 	PQSubvectors int
 	RerankK      int
+	// FeatureStore selects where each searcher shard keeps its raw
+	// feature rows (index.Config.FeatureStore): "ram" (default) holds
+	// dim×4 bytes per image on the heap; "mmap" tiers the rows onto an
+	// unlinked spill file read through the page cache, so a shard's RAM
+	// budget is spent on the M-byte ADC codes instead of floats —
+	// several× more images per searcher at the same RAM. SpillDir is
+	// where the spill files go (default the OS temp dir).
+	FeatureStore string
+	SpillDir     string
 	// SnapshotChunkSize bounds each chunk when Reindex streams the fresh
 	// shards to the searcher fleet over RPC (default rpc.DefaultChunkSize;
 	// see searcher.PushOptions). Tests use small values to force
@@ -211,6 +220,8 @@ func Start(cfg Config) (*Cluster, error) {
 			SearchWorkers: cfg.SearchWorkers,
 			PQSubvectors:  cfg.PQSubvectors,
 			RerankK:       cfg.RerankK,
+			FeatureStore:  cfg.FeatureStore,
+			SpillDir:      cfg.SpillDir,
 		},
 		Seed: cfg.FeatureSeed,
 	}, c.resolver)
@@ -501,6 +512,8 @@ func (c *Cluster) Reindex() error {
 			SearchWorkers: c.cfg.SearchWorkers,
 			PQSubvectors:  c.cfg.PQSubvectors,
 			RerankK:       c.cfg.RerankK,
+			FeatureStore:  c.cfg.FeatureStore,
+			SpillDir:      c.cfg.SpillDir,
 		},
 		Seed: c.cfg.FeatureSeed,
 	}, c.resolver)

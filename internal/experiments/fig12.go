@@ -33,6 +33,11 @@ type Fig12Config struct {
 	// exact float scan.
 	PQSubvectors int
 	RerankK      int
+	// FeatureStore/SpillDir tier the searchers' raw feature rows
+	// (cluster.Config fields of the same names): "mmap" spends shard RAM
+	// on ADC codes instead of floats.
+	FeatureStore string
+	SpillDir     string
 	// Seed drives generation.
 	Seed int64
 }
@@ -92,6 +97,8 @@ func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
 		NLists:       64,
 		PQSubvectors: cfg.PQSubvectors,
 		RerankK:      cfg.RerankK,
+		FeatureStore: cfg.FeatureStore,
+		SpillDir:     cfg.SpillDir,
 		Catalog: catalog.Config{
 			Products:   cfg.Products,
 			Categories: 12,

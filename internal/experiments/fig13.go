@@ -28,6 +28,10 @@ type Fig13Config struct {
 	// ADC scan; 0 keeps the exact float scan.
 	PQSubvectors int
 	RerankK      int
+	// FeatureStore/SpillDir tier the searchers' raw feature rows
+	// (cluster.Config fields of the same names).
+	FeatureStore string
+	SpillDir     string
 	// Seed drives generation.
 	Seed int64
 }
@@ -88,6 +92,8 @@ func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
 		NLists:       64,
 		PQSubvectors: cfg.PQSubvectors,
 		RerankK:      cfg.RerankK,
+		FeatureStore: cfg.FeatureStore,
+		SpillDir:     cfg.SpillDir,
 		Catalog: catalog.Config{
 			Products:   cfg.Products,
 			Categories: 12,

@@ -33,6 +33,10 @@ type HedgeConfig struct {
 	// ADC scan; 0 keeps the exact float scan.
 	PQSubvectors int
 	RerankK      int
+	// FeatureStore/SpillDir tier the searchers' raw feature rows
+	// (cluster.Config fields of the same names).
+	FeatureStore string
+	SpillDir     string
 	// Seed drives generation.
 	Seed int64
 }
@@ -127,6 +131,8 @@ func runHedgeSide(cfg HedgeConfig, hedged bool, quantile float64) (*HedgeSide, e
 		NLists:              32,
 		PQSubvectors:        cfg.PQSubvectors,
 		RerankK:             cfg.RerankK,
+		FeatureStore:        cfg.FeatureStore,
+		SpillDir:            cfg.SpillDir,
 		SlowReplicaDelay:    cfg.SlowDelay,
 		SlowReplicaFraction: cfg.SlowFraction,
 		HedgeQuantile:       hq,

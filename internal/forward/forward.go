@@ -50,6 +50,11 @@ const (
 // buffer chunk size.
 var ErrURLTooLong = errors.New("forward: url exceeds maximum attribute length")
 
+// MaxURLLen is the longest URL Append accepts (one var-length buffer
+// chunk). Exported so callers composing multi-structure inserts can
+// reject an oversized URL before committing anything elsewhere.
+const MaxURLLen = urlChunkSize
+
 // Attrs is the set of product attributes carried by one image record. It
 // mirrors the paper's example attributes: "product ID, sales, prices and
 // image URL" (§2.2), plus praise and category which §2.4 uses for ranking

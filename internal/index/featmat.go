@@ -22,32 +22,21 @@ func newFeatMat(dim int) *featMat {
 	return m
 }
 
-// writeTo serialises the matrix: [4B dim][4B rows][rows×dim float32].
+// writeTo serialises the matrix: [4B dim][4B rows][rows×dim float32] —
+// the shared rowStore codec, byte-identical to the mmap store's.
 func (m *featMat) writeTo(w io.Writer) (int64, error) {
-	var written int64
-	var hdr [8]byte
-	n := m.length.Load()
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.width))
-	binary.LittleEndian.PutUint32(hdr[4:8], n)
-	k, err := w.Write(hdr[:])
-	written += int64(k)
-	if err != nil {
-		return written, err
-	}
-	buf := make([]byte, 4*m.width)
-	for id := uint32(0); id < n; id++ {
-		row := m.Row(id)
-		for i, v := range row {
-			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
-		}
-		k, err = w.Write(buf)
-		written += int64(k)
-		if err != nil {
-			return written, err
-		}
-	}
-	return written, nil
+	return writeFloatRows(w, m.width, m.length.Load(), m.Row)
 }
+
+// heapBytes reports the chunk storage held on the Go heap: every
+// allocated chunk pins perChunk×dim×4 bytes whether or not it is full.
+func (m *featMat) heapBytes() int64 {
+	chunks := len(*m.dir.Load())
+	return int64(chunks) * int64(m.perChunk) * int64(m.width) * 4
+}
+
+// Close is a no-op: chunk storage is plain heap memory, reclaimed by GC.
+func (m *featMat) Close() error { return nil }
 
 // readFrom replaces the matrix contents. Not concurrent-safe.
 func (m *featMat) readFrom(r io.Reader) (int64, error) {

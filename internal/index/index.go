@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,20 @@ type Config struct {
 	// query (recall@10 ≥ 0.98 on clustered synthetic corpora, guarded by
 	// TestPQRecallGuardrail). Clamped to [TopK, MaxTopK].
 	RerankK int
+	// FeatureStore selects where raw feature rows live: FeatureStoreRAM
+	// ("ram", the default — heap chunks) or FeatureStoreMmap ("mmap" — an
+	// unlinked spill file served through the page cache). With the ADC
+	// scan path on M-byte codes, rows are touched only for re-rank,
+	// exact-path fallback and PQ training, so tiering them to mmap drops
+	// the per-image RAM cost from Dim×4 + M bytes to M bytes plus
+	// whatever spill pages the kernel keeps resident — several× more
+	// images per shard at the same RAM budget. Snapshots are
+	// format-compatible across both stores.
+	FeatureStore string
+	// SpillDir is the directory FeatureStoreMmap creates spill files in
+	// (default os.TempDir()). Files are unlinked at creation, so nothing
+	// is left behind even on crash.
+	SpillDir string
 }
 
 // MaxTopK caps a single query's result size. SearchRequest.TopK arrives
@@ -127,6 +142,14 @@ func (c *Config) validate() error {
 	if c.RerankK < 0 {
 		c.RerankK = 0
 	}
+	switch c.FeatureStore {
+	case "":
+		c.FeatureStore = FeatureStoreRAM
+	case FeatureStoreRAM, FeatureStoreMmap:
+	default:
+		return fmt.Errorf("index: unknown FeatureStore %q (want %q or %q)",
+			c.FeatureStore, FeatureStoreRAM, FeatureStoreMmap)
+	}
 	return nil
 }
 
@@ -139,8 +162,16 @@ type Stats struct {
 	PQCodes       int // PQ-encoded rows (0 when the shard scans exact floats)
 	Inserts       int64
 	ReusedInserts int64 // insertions satisfied by flipping validity back on
-	Deletions     int64
-	AttrUpdates   int64
+	// FeatureRefreshes counts re-listings whose feature vector differed
+	// from the stored row: the image was re-indexed under a fresh row,
+	// code and inverted entry, and the stale generation tombstoned.
+	FeatureRefreshes int64
+	Deletions        int64
+	AttrUpdates      int64
+	// FeatureHeapBytes is the Go-heap memory held by raw feature-row
+	// storage — Dim×4 per image (rounded up to chunks) for the RAM store,
+	// near zero for the mmap store, whose rows live in the page cache.
+	FeatureHeapBytes int64
 }
 
 // Shard is one partition's index. Construct with New, then Train (or
@@ -152,7 +183,7 @@ type Shard struct {
 	fwd      *forward.Index
 	inv      *inverted.Index
 	valid    *bitmapx.Bitmap
-	feats    *featMat
+	feats    rowStore
 
 	// pqState is the atomically published (codebook, code matrix) pair of
 	// the ADC scan path. nil means no product quantizer is installed and
@@ -192,18 +223,28 @@ func New(cfg Config) (*Shard, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	feats, err := newFeatStore(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Shard{
 		cfg:       cfg,
 		fwd:       forward.New(),
 		inv:       inverted.New(cfg.NLists, cfg.ListInitialCap),
 		valid:     bitmapx.New(0),
-		feats:     newFeatMat(cfg.Dim),
+		feats:     feats,
 		byURL:     make(map[string]core.ImageID),
 		byProduct: make(map[uint64][]core.ImageID),
 	}
 	s.searchWorkers.Store(int32(cfg.SearchWorkers))
 	return s, nil
 }
+
+// Close releases feature-store resources — the mmap store's spill file
+// and mappings; a no-op for the RAM store. Searches and the writer must
+// be quiesced. Shards dropped without Close (e.g. hot-swapped out by a
+// snapshot push) are backstopped by a finalizer on the store.
+func (s *Shard) Close() error { return s.feats.Close() }
 
 // ErrNotTrained is returned by operations requiring a codebook.
 var ErrNotTrained = errors.New("index: codebook not trained")
@@ -372,10 +413,15 @@ func (s *Shard) SetSearchWorkers(n int) {
 
 // Insert adds an image with its feature vector and product attributes
 // (Fig. 8). If the URL was indexed before — the product was "removed from
-// the market and put back" (§2.3) — the stored record and features are
-// reused: the validity bit flips on, attributes refresh, and no new
-// forward/inverted entries are created. It returns the image's ID and
-// whether an existing record was reused.
+// the market and put back" (§2.3) — and the supplied feature is nil or
+// matches the stored row, the record and features are reused: the
+// validity bit flips on, attributes refresh, and no new forward/inverted
+// entries are created. A re-listing that supplies a *different* vector is
+// NOT a reuse: the image is re-indexed under a fresh row, PQ code and
+// inverted-list entry (serving the old vector forever was the stale-
+// feature hole this closes), and the stale generation is tombstoned. It
+// returns the image's (possibly new) ID and whether an existing record
+// was reused.
 func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool, error) {
 	if s.codebook == nil {
 		return 0, false, ErrNotTrained
@@ -383,11 +429,28 @@ func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool,
 	if attrs.URL == "" {
 		return 0, false, errors.New("index: insert needs an image URL")
 	}
+	if len(attrs.URL) > forward.MaxURLLen {
+		// Reject before appendRow commits anything: the feature row is
+		// appended before the forward record, so a URL the forward index
+		// would refuse must never reach it — a half-committed generation
+		// would leave the matrices permanently skewed.
+		return 0, false, fmt.Errorf("index: %w (%d bytes)", forward.ErrURLTooLong, len(attrs.URL))
+	}
 
 	s.tabMu.RLock()
 	id, exists := s.byURL[attrs.URL]
 	s.tabMu.RUnlock()
 	if exists {
+		if feature != nil {
+			// The reuse path historically skipped this validation, so a
+			// wrong-dim re-listing silently succeeded.
+			if len(feature) != s.cfg.Dim {
+				return 0, false, fmt.Errorf("index: feature dim %d, shard dim %d", len(feature), s.cfg.Dim)
+			}
+			if !rowsEqual(s.feats.Row(id), feature) {
+				return s.refreshFeature(id, attrs, feature)
+			}
+		}
 		// Reuse path: refresh numeric attributes — including the category,
 		// or a product re-listed under a new category keeps serving its old
 		// one to category-scoped searches — then revalidate. The validity
@@ -405,18 +468,7 @@ func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool,
 		if old, ok := s.fwd.ProductID(id); ok && old != attrs.ProductID {
 			s.fwd.SetProductID(id, attrs.ProductID)
 			s.tabMu.Lock()
-			olds := s.byProduct[old]
-			kept := make([]core.ImageID, 0, max(len(olds)-1, 0))
-			for _, v := range olds {
-				if v != id {
-					kept = append(kept, v)
-				}
-			}
-			if len(kept) == 0 {
-				delete(s.byProduct, old)
-			} else {
-				s.byProduct[old] = kept
-			}
+			s.dropProductImageLocked(old, id)
 			s.byProduct[attrs.ProductID] = append(s.byProduct[attrs.ProductID], id)
 			s.tabMu.Unlock()
 		}
@@ -428,40 +480,9 @@ func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool,
 	if len(feature) != s.cfg.Dim {
 		return 0, false, fmt.Errorf("index: feature dim %d, shard dim %d", len(feature), s.cfg.Dim)
 	}
-	// New image: forward record + feature row + inverted entry + validity.
-	id, err := s.fwd.Append(attrs)
+	id, err := s.appendRow(attrs, feature)
 	if err != nil {
-		return 0, false, fmt.Errorf("index: forward append: %w", err)
-	}
-	fid, err := s.feats.Append(feature)
-	if err != nil {
-		return 0, false, fmt.Errorf("index: feature append: %w", err)
-	}
-	if fid != id {
-		return 0, false, fmt.Errorf("index: id skew: forward %d, features %d", id, fid)
-	}
-	if ps := s.pqState.Load(); ps != nil {
-		// Keep the code matrix in lockstep: the row must be committed
-		// before the inverted entry and validity bit make the id
-		// scannable.
-		if cap(s.codeScratch) < ps.cb.M {
-			s.codeScratch = make([]byte, ps.cb.M)
-		}
-		code := s.codeScratch[:ps.cb.M]
-		if err := ps.cb.Encode(feature, code); err != nil {
-			return 0, false, fmt.Errorf("index: pq encode: %w", err)
-		}
-		cid, err := ps.codes.Append(code)
-		if err != nil {
-			return 0, false, fmt.Errorf("index: pq code append: %w", err)
-		}
-		if cid != id {
-			return 0, false, fmt.Errorf("index: id skew: forward %d, codes %d", id, cid)
-		}
-	}
-	cluster := s.codebook.Assign(feature)
-	if err := s.inv.Append(cluster, id); err != nil {
-		return 0, false, fmt.Errorf("index: inverted append: %w", err)
+		return 0, false, err
 	}
 	s.valid.Set(id)
 
@@ -472,6 +493,120 @@ func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool,
 
 	s.bump(func(st *Stats) { st.Inserts++ })
 	return id, false, nil
+}
+
+// appendRow commits a new image generation — feature row, forward record,
+// PQ code (when a quantizer is installed) and inverted-list entry — and
+// returns its ID. The caller publishes it by setting the validity bit.
+// The feature row goes first: with a disk-backed store it is the one step
+// that can genuinely fail at runtime (spill-file growth hitting ENOSPC),
+// and appending it before anything else means such a failure commits
+// nothing — the shard keeps ingesting once space frees, instead of being
+// wedged behind a forward record with no row (permanent id skew). The
+// remaining appends only fail on invariant violations.
+func (s *Shard) appendRow(attrs core.Attrs, feature []float32) (core.ImageID, error) {
+	fid, err := s.feats.Append(feature)
+	if err != nil {
+		return 0, fmt.Errorf("index: feature append: %w", err)
+	}
+	id, err := s.fwd.Append(attrs)
+	if err != nil {
+		return 0, fmt.Errorf("index: forward append: %w", err)
+	}
+	if fid != id {
+		return 0, fmt.Errorf("index: id skew: forward %d, features %d", id, fid)
+	}
+	if ps := s.pqState.Load(); ps != nil {
+		// Keep the code matrix in lockstep: the row must be committed
+		// before the inverted entry and validity bit make the id
+		// scannable.
+		if cap(s.codeScratch) < ps.cb.M {
+			s.codeScratch = make([]byte, ps.cb.M)
+		}
+		code := s.codeScratch[:ps.cb.M]
+		if err := ps.cb.Encode(feature, code); err != nil {
+			return 0, fmt.Errorf("index: pq encode: %w", err)
+		}
+		cid, err := ps.codes.Append(code)
+		if err != nil {
+			return 0, fmt.Errorf("index: pq code append: %w", err)
+		}
+		if cid != id {
+			return 0, fmt.Errorf("index: id skew: forward %d, codes %d", id, cid)
+		}
+	}
+	cluster := s.codebook.Assign(feature)
+	if err := s.inv.Append(cluster, id); err != nil {
+		return 0, fmt.Errorf("index: inverted append: %w", err)
+	}
+	return id, nil
+}
+
+// refreshFeature re-indexes a re-listed URL whose feature vector changed.
+// Rows, codes and inverted entries are immutable under the lock-free
+// reader contract, so the refresh appends a fresh generation — new row,
+// new code, entry in the vector's *current* inverted list — and
+// tombstones the stale ID instead of mutating it in place (which would
+// tear under concurrent scans). The new generation is appended first
+// (invisible until its validity bit publishes it), so a failed append
+// leaves the old generation serving; then the stale ID's bit is cleared
+// just before the new one is set. A search strictly between the two bit
+// flips misses the image; one that straddles them (checked the stale bit
+// before the clear, reached the new entry after the set) can transiently
+// score both generations and return the URL twice — the same
+// single-writer visibility window every non-atomic §2.3 update has, gone
+// by the next query.
+func (s *Shard) refreshFeature(stale core.ImageID, attrs core.Attrs, feature []float32) (core.ImageID, bool, error) {
+	oldProduct, hadProduct := s.fwd.ProductID(stale)
+	id, err := s.appendRow(attrs, feature)
+	if err != nil {
+		return 0, false, err
+	}
+	s.valid.Clear(stale)
+	s.valid.Set(id)
+
+	s.tabMu.Lock()
+	s.byURL[attrs.URL] = id
+	if hadProduct {
+		s.dropProductImageLocked(oldProduct, stale)
+	}
+	s.byProduct[attrs.ProductID] = append(s.byProduct[attrs.ProductID], id)
+	s.tabMu.Unlock()
+
+	s.bump(func(st *Stats) { st.Inserts++; st.FeatureRefreshes++ })
+	return id, false, nil
+}
+
+// dropProductImageLocked removes id from byProduct[product], deleting the
+// entry when it empties. Caller holds tabMu.
+func (s *Shard) dropProductImageLocked(product uint64, id core.ImageID) {
+	olds := s.byProduct[product]
+	kept := make([]core.ImageID, 0, max(len(olds)-1, 0))
+	for _, v := range olds {
+		if v != id {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.byProduct, product)
+	} else {
+		s.byProduct[product] = kept
+	}
+}
+
+// rowsEqual compares a stored row against an incoming vector bitwise —
+// NaNs compare equal to themselves, so a NaN-carrying vector cannot force
+// a fresh generation on every re-listing.
+func rowsEqual(row, feature []float32) bool {
+	if len(row) != len(feature) {
+		return false
+	}
+	for i := range row {
+		if math.Float32bits(row[i]) != math.Float32bits(feature[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // HasURL reports whether the shard has ever indexed url (valid or not).
@@ -574,7 +709,9 @@ func (s *Shard) Valid(id core.ImageID) bool { return s.valid.Get(id) }
 func (s *Shard) Attrs(id core.ImageID) (core.Attrs, bool) { return s.fwd.Get(id) }
 
 // Feature returns image id's feature row (nil if unknown). Callers must
-// not modify it.
+// not modify it, and must keep the shard reachable while using it: with
+// FeatureStoreMmap the slice points into a mapping that is unmapped when
+// the shard is finalized or Closed.
 func (s *Shard) Feature(id core.ImageID) []float32 { return s.feats.Row(id) }
 
 // searchScratch is the pooled per-query scratch: probe-selection buffers,
@@ -588,7 +725,8 @@ type searchScratch struct {
 	parts     [][]topk.Item
 	merged    []topk.Item
 	counts    []int
-	lut       []float32 // per-query ADC distance table (PQ path)
+	lut       []float32   // per-query ADC distance table (PQ path)
+	missing   []topk.Item // re-rank candidates whose raw row was unavailable
 }
 
 var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
@@ -663,6 +801,14 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 	if workers < 1 {
 		workers = 1
 	}
+
+	// Pin the shard for the whole query: row slices handed out by a
+	// disk-backed feature store point into mmap'd memory that the store's
+	// finalizer unmaps once the shard is unreachable (e.g. hot-swapped out
+	// mid-query). The receiver alone does not guarantee liveness across
+	// the last row read under precise stack maps; the KeepAlive below
+	// does.
+	defer runtime.KeepAlive(s)
 
 	var items []topk.Item
 	scanned := 0
@@ -799,13 +945,36 @@ func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, 
 	// Exact re-rank: the candidates are safely copied into sc.merged, so
 	// the pooled selectors can be reconfigured for the final top-k.
 	sel := sc.selectors(1, k)[0]
+	ranked := 0
+	missing := sc.missing[:0]
 	for _, it := range sc.merged {
 		row := s.feats.Row(uint32(it.ID))
 		if row == nil {
+			// The raw row is unavailable (it was scannable by code, so
+			// this is a store-level gap, not an invalid image). Dropping
+			// it silently could return fewer than k results even though
+			// the shard holds ≥ k valid images; remember it for backfill.
+			missing = append(missing, it)
 			continue
 		}
+		ranked++
 		sel.Push(it.ID, vecmath.L2Squared(req.Feature, row))
 	}
+	if ranked < k {
+		// Backfill from the next approximate candidates: sc.merged is
+		// ADC-distance-ordered, and the ADC estimate is the best score
+		// available for a row the store cannot produce. Only the shortfall
+		// is filled, so an approximate score never displaces an exact one
+		// when k exact candidates exist.
+		for _, it := range missing {
+			if ranked == k {
+				break
+			}
+			ranked++
+			sel.Push(it.ID, it.Dist)
+		}
+	}
+	sc.missing = missing[:0]
 	return sel.Sorted(), scanned
 }
 
@@ -846,6 +1015,7 @@ func (s *Shard) Stats() Stats {
 	st.Images = s.fwd.Len()
 	st.ValidImages = s.valid.Count()
 	st.Lists = s.inv.Lists()
+	st.FeatureHeapBytes = s.feats.heapBytes()
 	if ps := s.pqState.Load(); ps != nil {
 		st.PQCodes = ps.codes.Len()
 	}
@@ -998,16 +1168,30 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 	}
 	s.pqState.Store(fresh)
 	s.coveredOffset.Store(covered)
-	// Rebuild lookup tables from the forward index.
+	// Rebuild lookup tables from the forward index. Two passes: byURL
+	// first (ascending scan, so the newest generation of a re-listed URL
+	// wins), then byProduct from only the records byURL still points at —
+	// a stale generation tombstoned by a feature refresh must not
+	// resurface as a product member on a snapshot-loaded replica, or
+	// ProductImages/UpdateAttrs would diverge from the shard that wrote
+	// the snapshot. (Images merely delisted keep their byProduct entries:
+	// their URL still maps to them, and they can be re-listed.)
 	byURL := make(map[string]core.ImageID, s.fwd.Len())
 	byProduct := make(map[uint64][]core.ImageID)
+	for id := uint32(0); id < uint32(s.fwd.Len()); id++ {
+		a, ok := s.fwd.Get(id)
+		if !ok || a.URL == "" {
+			continue
+		}
+		byURL[a.URL] = id
+	}
 	for id := uint32(0); id < uint32(s.fwd.Len()); id++ {
 		a, ok := s.fwd.Get(id)
 		if !ok {
 			continue
 		}
-		if a.URL != "" {
-			byURL[a.URL] = id
+		if a.URL != "" && byURL[a.URL] != id {
+			continue // superseded by a feature-refresh generation
 		}
 		byProduct[a.ProductID] = append(byProduct[a.ProductID], id)
 	}

@@ -1,0 +1,12 @@
+//go:build darwin
+
+package index
+
+import "os"
+
+// reserveSpill is a no-op on darwin: the stdlib syscall package exposes no
+// fallocate (F_PREALLOCATE would need raw fcntl plumbing), so the spill
+// file stays sparse and a full disk surfaces as SIGBUS like any other
+// mmap-writing program there. Linux — the deployment platform — reserves
+// for real.
+func reserveSpill(*os.File, int64) error { return nil }

@@ -1,0 +1,27 @@
+//go:build linux
+
+package index
+
+import (
+	"os"
+	"syscall"
+)
+
+// reserveSpill allocates backing blocks for the first size bytes of the
+// spill file, so running out of disk fails the fallocate (a returnable
+// error) instead of SIGBUSing the process on a later page fault.
+// Filesystems without fallocate support degrade to the sparse-file
+// behaviour rather than failing the grow.
+func reserveSpill(f *os.File, size int64) error {
+	for {
+		err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+		switch err {
+		case syscall.EINTR:
+			continue
+		case syscall.EOPNOTSUPP, syscall.ENOSYS:
+			return nil // best-effort: fall back to the sparse file
+		default:
+			return err
+		}
+	}
+}

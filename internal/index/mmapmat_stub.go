@@ -1,0 +1,12 @@
+//go:build !(linux || darwin)
+
+package index
+
+import "errors"
+
+// newMmapMat is the non-mmap platform stub: Config.FeatureStore "mmap"
+// needs MAP_SHARED file mappings, which this port does not provide. Shards
+// here run the RAM store (the default) unchanged.
+func newMmapMat(dim int, spillDir string) (rowStore, error) {
+	return nil, errors.New("index: FeatureStore \"mmap\" is not supported on this platform")
+}

@@ -1,0 +1,251 @@
+//go:build linux || darwin
+
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jdvs/internal/core"
+)
+
+// buildStorePair builds two shards over the identical corpus — one per
+// feature store — with the same codebooks, so every search must agree
+// byte for byte.
+func buildStorePair(t testing.TB, n, dim, nlists, m int) (ram, mmapped *Shard, feats [][]float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(53))
+	feats = clusteredFeatures(rng, n, dim, 24, 0.25)
+	sample := min(n, 2000)
+	train := make([]float32, 0, sample*dim)
+	for i := 0; i < sample; i++ {
+		train = append(train, feats[i]...)
+	}
+	mk := func(store string) *Shard {
+		s, err := New(Config{
+			Dim: dim, NLists: nlists, DefaultNProbe: 8, SearchWorkers: 1,
+			PQSubvectors: m, FeatureStore: store, SpillDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Train(train, 5); err != nil {
+			t.Fatal(err)
+		}
+		if m > 0 {
+			if err := s.TrainPQ(train, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, f := range feats {
+			a := core.Attrs{ProductID: uint64(i + 1), URL: fmt.Sprintf("jfs://store/%d.jpg", i), Category: uint16(i % 4)}
+			if _, _, err := s.Insert(a, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	ram, mmapped = mk(FeatureStoreRAM), mk(FeatureStoreMmap)
+	return ram, mmapped, feats
+}
+
+// TestFeatureStoreParity: exact-path and ADC-path responses and snapshot
+// streams must be byte-identical across the RAM and mmap stores — tiering
+// can never change results.
+func TestFeatureStoreParity(t *testing.T) {
+	for _, m := range []int{0, 8} { // exact path, ADC path
+		t.Run(fmt.Sprintf("pqM=%d", m), func(t *testing.T) {
+			const n, dim = 4000, 32
+			ram, mm, feats := buildStorePair(t, n, dim, 16, m)
+			defer ram.Close()
+			defer mm.Close()
+			rng := rand.New(rand.NewSource(3))
+			for qi := 0; qi < 40; qi++ {
+				base := feats[rng.Intn(n)]
+				q := make([]float32, dim)
+				for d := range q {
+					q[d] = base[d] + float32(rng.NormFloat64()*0.05)
+				}
+				req := &core.SearchRequest{Feature: q, TopK: 10, NProbe: 8, Category: -1}
+				rr, err := ram.Search(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rm, err := mm.Search(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(core.EncodeSearchResponse(rr), core.EncodeSearchResponse(rm)) {
+					t.Fatalf("query %d: responses differ across stores", qi)
+				}
+			}
+			var bufRAM, bufMM bytes.Buffer
+			if err := ram.WriteSnapshot(&bufRAM); err != nil {
+				t.Fatal(err)
+			}
+			if err := mm.WriteSnapshot(&bufMM); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bufRAM.Bytes(), bufMM.Bytes()) {
+				t.Fatal("snapshot streams differ across stores")
+			}
+		})
+	}
+}
+
+// TestFeatureStoreSnapshotCrossLoad: a snapshot written by either store
+// loads into a shard running the other — the wire format is one format,
+// and the mmap load maps the feature section instead of copying it into
+// heap chunks.
+func TestFeatureStoreSnapshotCrossLoad(t *testing.T) {
+	const n, dim = 3000, 32
+	ram, mm, feats := buildStorePair(t, n, dim, 16, 8)
+	defer ram.Close()
+	defer mm.Close()
+	cross := func(src *Shard, dstStore string) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := src.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		cfg := src.Config()
+		cfg.FeatureStore = dstStore
+		cfg.SpillDir = t.TempDir()
+		dst, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dst.Close()
+		if err := dst.LoadSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		req := &core.SearchRequest{Feature: feats[42], TopK: 10, NProbe: 8, Category: -1}
+		want, err := src.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(core.EncodeSearchResponse(want), core.EncodeSearchResponse(got)) {
+			t.Fatalf("cross-load %s: responses differ", dstStore)
+		}
+		// The loaded shard keeps taking real-time appends.
+		extra := append([]float32(nil), feats[0]...)
+		extra[0] += 3
+		if _, _, err := dst.Insert(core.Attrs{ProductID: 1 << 40, URL: "jfs://store/fresh.jpg"}, extra); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cross(ram, FeatureStoreMmap)
+	cross(mm, FeatureStoreRAM)
+}
+
+// TestMmapStoreGrowth: appends crossing mapping-growth boundaries stay
+// readable, and row slices handed out before a growth keep reading the
+// same values afterwards (retired mappings stay mapped).
+func TestMmapStoreGrowth(t *testing.T) {
+	const dim = 8
+	st, err := newMmapMat(dim, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*mmapMat)
+	defer m.Close()
+	rows := mmapMinRows*2 + 77 // forces at least one remap
+	mk := func(i int) []float32 {
+		f := make([]float32, dim)
+		for d := range f {
+			f[d] = float32(i*dim + d)
+		}
+		return f
+	}
+	var early []float32
+	for i := 0; i < rows; i++ {
+		id, err := m.Append(mk(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint32(i) {
+			t.Fatalf("id %d, want %d", id, i)
+		}
+		if i == 5 {
+			early = m.Row(5)
+		}
+	}
+	if m.Len() != rows {
+		t.Fatalf("Len = %d, want %d", m.Len(), rows)
+	}
+	for _, i := range []int{0, 5, mmapMinRows - 1, mmapMinRows, rows - 1} {
+		if !rowsEqual(m.Row(uint32(i)), mk(i)) {
+			t.Fatalf("row %d corrupted after growth", i)
+		}
+	}
+	if !rowsEqual(early, mk(5)) {
+		t.Fatal("pre-growth row slice no longer readable")
+	}
+	if m.Row(uint32(rows)) != nil {
+		t.Fatal("uncommitted row readable")
+	}
+	// Close is idempotent and Append after Close fails cleanly.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(mk(0)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestFeatureStoreCapacity is the tiering acceptance gate at the issue's
+// operating point (100k images, dim 64, M=16): the mmap store's feature
+// heap must be at most half the RAM store's (it is ~zero — rows live in
+// the page cache), with search results identical. Under -short a scaled
+// corpus proves the same ratio.
+func TestFeatureStoreCapacity(t *testing.T) {
+	n := 100_000
+	if testing.Short() {
+		n = 20_000
+	}
+	const dim, m = 64, 16
+	ram, mm, feats := buildStorePair(t, n, dim, 64, m)
+	defer ram.Close()
+	defer mm.Close()
+
+	ramHeap := ram.Stats().FeatureHeapBytes
+	mmHeap := mm.Stats().FeatureHeapBytes
+	t.Logf("feature heap at %d images, dim %d, M=%d: ram=%d bytes (%.1f MiB), mmap=%d bytes",
+		n, dim, m, ramHeap, float64(ramHeap)/(1<<20), mmHeap)
+	if minWant := int64(n) * dim * 4; ramHeap < minWant {
+		t.Fatalf("ram store accounts %d bytes, want >= %d", ramHeap, minWant)
+	}
+	if mmHeap*2 > ramHeap {
+		t.Fatalf("mmap feature heap %d > 50%% of ram store's %d", mmHeap, ramHeap)
+	}
+	for qi := 0; qi < 10; qi++ {
+		req := &core.SearchRequest{Feature: feats[(qi*997)%n], TopK: 10, NProbe: 8, Category: -1}
+		rr, err := ram.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := mm.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(core.EncodeSearchResponse(rr), core.EncodeSearchResponse(rm)) {
+			t.Fatalf("query %d: responses differ across stores", qi)
+		}
+	}
+}
+
+// TestPQRecallGuardrailMmap re-runs the recall@10 >= 0.95 accuracy gate
+// with the quantized shard's rows tiered onto mmap, so feature tiering
+// can never silently change ADC results.
+func TestPQRecallGuardrailMmap(t *testing.T) {
+	runPQRecallGuardrail(t, FeatureStoreMmap)
+}

@@ -85,13 +85,16 @@ func Apply(s *index.Shard, r *Resolver, u *msg.ProductUpdate) (kind string, reus
 			Category:   u.Category,
 			URL:        url,
 		}
-		// Fast reuse path: the shard has the record; flipping validity back
-		// on needs no feature at all (§2.3 "Insertion": "if it is, we simply
-		// update its validity in the bitmap and reuse its images' features").
-		if s.HasURL(url) {
-			_, _, err := s.Insert(attrs, nil)
-			return "addition", true, err
-		}
+		// Fresh listings and re-listings both resolve through the feature
+		// DB (check-before-extract, Fig. 2). For a re-listed URL this is a
+		// cache hit — extraction is still avoided, which is the reuse §2.3
+		// promises ("we simply update its validity in the bitmap and reuse
+		// its images' features") — but the resolved vector must reach the
+		// shard: Insert compares it against the stored row and re-indexes
+		// the image at its new location when the feature DB entry changed
+		// since the URL was last indexed. The old fast path passed nil
+		// here, which kept the §2.3 bitmap flip but meant a changed vector
+		// never took effect until the next full rebuild.
 		entry, hadFeatures, err := r.Resolve(url, attrs)
 		if err != nil {
 			return "", false, fmt.Errorf("indexer: resolve %s: %w", url, err)

@@ -423,3 +423,115 @@ func TestFullBuildCoveredOffsetsAndPQ(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyRelistChangedFeature: the wired real-time path must propagate
+// a changed feature vector on re-listing. Apply resolves through the
+// feature DB even for shard-known URLs (a cache hit — no extraction), so
+// when the DB entry for a URL has changed since it was last indexed, the
+// re-listing lands the image at its new index location instead of serving
+// the stale vector until the next full rebuild.
+func TestApplyRelistChangedFeature(t *testing.T) {
+	f := newFixture(t, 10, 1)
+	s := newShard(t, f)
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+
+	add := f.addEvent(p, 1)
+	add.ImageURLs = []string{url}
+	if _, _, err := Apply(s, f.res, add); err != nil {
+		t.Fatal(err)
+	}
+	ids := s.ProductImages(p.ID)
+	if len(ids) != 1 {
+		t.Fatalf("indexed %v", ids)
+	}
+	oldID := ids[0]
+
+	// Delist, then change the URL's stored features (re-extraction after a
+	// model refresh, or the image content changed under the same URL).
+	del := f.addEvent(p, 2)
+	del.Type = msg.TypeRemoveProduct
+	del.ImageURLs = []string{url}
+	if _, _, err := Apply(s, f.res, del); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := f.res.DB.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFeat := append([]float32(nil), entry.Feature...)
+	newFeat[0] += 2.5
+	f.res.DB.Put(url, &featuredb.Entry{Feature: newFeat, Attrs: entry.Attrs})
+
+	// Re-listing through the production path: no extraction (DB hit), but
+	// the image serves the new vector.
+	hits, misses := f.res.DB.Stats()
+	readd := f.addEvent(p, 3)
+	readd.ImageURLs = []string{url}
+	kind, reused, err := Apply(s, f.res, readd)
+	if err != nil || kind != "addition" || !reused {
+		t.Fatalf("re-add: kind=%q reused=%v err=%v", kind, reused, err)
+	}
+	if h2, m2 := f.res.DB.Stats(); m2 != misses || h2 != hits+1 {
+		t.Fatalf("re-listing extracted features: hits %d->%d misses %d->%d", hits, h2, misses, m2)
+	}
+	ids = s.ProductImages(p.ID)
+	if len(ids) != 1 {
+		t.Fatalf("product owns %v after re-listing", ids)
+	}
+	newID := ids[0]
+	if newID == oldID {
+		t.Fatal("changed-vector re-listing kept the stale generation")
+	}
+	if s.Valid(oldID) || !s.Valid(newID) {
+		t.Fatalf("validity: old=%v new=%v", s.Valid(oldID), s.Valid(newID))
+	}
+	got := s.Feature(newID)
+	for i := range newFeat {
+		if got[i] != newFeat[i] {
+			t.Fatalf("shard serves stale vector: got %v, want %v", got[:4], newFeat[:4])
+		}
+	}
+	// The new location answers searches; the old vector's slot does not.
+	resp, err := s.Search(&core.SearchRequest{Feature: newFeat, TopK: 1, NProbe: 8, Category: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) == 0 || resp.Hits[0].URL != url || resp.Hits[0].Dist != 0 {
+		t.Fatalf("new vector does not find the re-listed image: %+v", resp.Hits)
+	}
+	if st := s.Stats(); st.FeatureRefreshes != 1 {
+		t.Fatalf("FeatureRefreshes = %d, want 1", st.FeatureRefreshes)
+	}
+}
+
+// TestApplyRelistUnchangedFeatureReuses: the common re-listing (feature
+// DB entry unchanged) must stay the cheap §2.3 path — record reused, no
+// new generation appended.
+func TestApplyRelistUnchangedFeatureReuses(t *testing.T) {
+	f := newFixture(t, 10, 1)
+	s := newShard(t, f)
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+	add := f.addEvent(p, 1)
+	add.ImageURLs = []string{url}
+	if _, _, err := Apply(s, f.res, add); err != nil {
+		t.Fatal(err)
+	}
+	del := f.addEvent(p, 2)
+	del.Type = msg.TypeRemoveProduct
+	del.ImageURLs = []string{url}
+	if _, _, err := Apply(s, f.res, del); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	readd := f.addEvent(p, 3)
+	readd.ImageURLs = []string{url}
+	if _, reused, err := Apply(s, f.res, readd); err != nil || !reused {
+		t.Fatalf("re-add: reused=%v err=%v", reused, err)
+	}
+	after := s.Stats()
+	if after.Images != before.Images || after.FeatureRefreshes != 0 || after.ReusedInserts != before.ReusedInserts+1 {
+		t.Fatalf("plain re-listing not reused: %+v -> %+v", before, after)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"jdvs/internal/index"
 	"jdvs/internal/indexer"
+	"jdvs/internal/mq"
 	"jdvs/internal/msg"
 )
 
@@ -219,5 +220,171 @@ func TestPushSnapshotRewindsOutrunConsumer(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("rewound replay did not restore the gap updates on the fresh shard")
+	}
+}
+
+// startLoopWith hands a hand-built consumer to the searcher's real-time
+// loop — the deterministic harness for batch-boundary cases: everything
+// produced and every resync raised *before* this call lands on the
+// loop's first Poll batch.
+func startLoopWith(t *testing.T, s *Searcher, consumer *mq.Consumer) {
+	t.Helper()
+	s.wg.Add(1)
+	go s.realtimeLoop(consumer)
+}
+
+// TestResyncAndWatermarkSameBatch: a resyncTo request and the raised
+// skipTo watermark from the same SwapShard land on one Poll batch — the
+// covered prefix must be skipped with OffsetSkips counting each skipped
+// message exactly once (no double count from the seek-time bulk add plus
+// the per-message skip), and the uncovered tail applied exactly once.
+func TestResyncAndWatermarkSameBatch(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard, Resolver: f.res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+	event := func(sales uint32) *msg.ProductUpdate {
+		return &msg.ProductUpdate{
+			Type:       msg.TypeUpdateAttrs,
+			ProductID:  p.ID,
+			Category:   p.Category,
+			Sales:      sales,
+			Praise:     p.Praise,
+			PriceCents: p.PriceCents,
+			ImageURLs:  []string{url},
+		}
+	}
+	// Offsets 0..9 are already enqueued when the loop first polls, so they
+	// arrive as one batch.
+	for i := 0; i < 10; i++ {
+		if _, err := indexer.RouteUpdate(f.queue, event(uint32(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A snapshot covering offsets [0, 7) is installed before the batch is
+	// processed: resyncTo = skipTo = 7 both land on the same batch.
+	next, err := index.New(f.shard.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.shard.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	next.SetCoveredOffset(7)
+	s.SwapShard(next)
+
+	consumer, err := f.queue.NewConsumer(indexer.UpdatesTopic, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startLoopWith(t, s, consumer)
+
+	waitApplied(t, s, 3)
+	if got := s.OffsetSkips(); got != 7 {
+		t.Fatalf("OffsetSkips = %d, want 7 (each covered message counted exactly once)", got)
+	}
+	if got := s.Applied(); got != 3 {
+		t.Fatalf("Applied = %d, want 3 (uncovered tail applied exactly once)", got)
+	}
+	// The tail landed in order: the last event's sales value serves.
+	shard := s.Shard()
+	found := false
+	for _, id := range shard.ProductImages(p.ID) {
+		if a, ok := shard.Attrs(id); ok && a.URL == url && a.Sales == 109 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("tail updates not applied to the swapped shard")
+	}
+}
+
+// TestResyncBeyondBatchCountsOnce: the resync target lies past the end of
+// the polled batch — the batch is fully skipped via the per-message
+// watermark and the remaining covered span via the seek-time bulk add;
+// together every covered offset counts exactly once, and messages
+// arriving later in the covered span are never re-counted or re-applied.
+func TestResyncBeyondBatchCountsOnce(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard, Resolver: f.res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	p := &f.cat.Products[0]
+	url := p.ImageURLs[0]
+	event := func(sales uint32) *msg.ProductUpdate {
+		return &msg.ProductUpdate{
+			Type:       msg.TypeUpdateAttrs,
+			ProductID:  p.ID,
+			Category:   p.Category,
+			Sales:      sales,
+			Praise:     p.Praise,
+			PriceCents: p.PriceCents,
+			ImageURLs:  []string{url},
+		}
+	}
+	// Ten messages exist; the snapshot covers twelve: offsets 10 and 11
+	// have not even been produced yet.
+	for i := 0; i < 10; i++ {
+		if _, err := indexer.RouteUpdate(f.queue, event(uint32(500+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next, err := index.New(f.shard.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.shard.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	next.SetCoveredOffset(12)
+	s.SwapShard(next)
+
+	consumer, err := f.queue.NewConsumer(indexer.UpdatesTopic, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startLoopWith(t, s, consumer)
+
+	// The whole batch plus the unproduced remainder of the covered span is
+	// skipped: 10 messages + offsets [10, 12) = 12 skips.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.OffsetSkips() < 12 {
+		if time.Now().After(deadline) {
+			t.Fatalf("OffsetSkips = %d, want 12", s.OffsetSkips())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Offsets 10 and 11 arrive after the seek; they were skipped at seek
+	// time and must not be applied or counted again. Offset 12 is live.
+	for i := 0; i < 2; i++ {
+		if _, err := indexer.RouteUpdate(f.queue, event(uint32(600+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := indexer.RouteUpdate(f.queue, event(999)); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, s, 1)
+	if got := s.OffsetSkips(); got != 12 {
+		t.Fatalf("OffsetSkips = %d, want 12 (covered span double-counted?)", got)
+	}
+	if got := s.Applied(); got != 1 {
+		t.Fatalf("Applied = %d, want 1 (covered messages re-applied?)", got)
 	}
 }
