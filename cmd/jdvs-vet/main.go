@@ -1,0 +1,128 @@
+// Command jdvs-vet is the project's invariant checker: a multichecker
+// over the analyzers in internal/analysis/passes that encode the
+// contracts the type system cannot — the lock-free publish protocol
+// (atomicmix), the mmap finalizer pin (mmappin), no blocking ops under
+// serving-path mutexes (lockhold), end-to-end knob threading
+// (knobthread), counted error paths (statcount) — plus stdlib-only
+// stand-ins for the stock nilness and unusedwrite passes, which the
+// offline build environment cannot fetch from x/tools.
+//
+// Usage:
+//
+//	go run ./cmd/jdvs-vet ./...
+//	go run ./cmd/jdvs-vet -only atomicmix,lockhold ./internal/index
+//
+// Exit status is 0 when no analyzer reports, 1 on findings, 2 on a
+// loading or internal error — the same convention as go vet, so CI can
+// gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"jdvs/internal/analysis"
+	"jdvs/internal/analysis/passes/atomicmix"
+	"jdvs/internal/analysis/passes/knobthread"
+	"jdvs/internal/analysis/passes/lockhold"
+	"jdvs/internal/analysis/passes/mmappin"
+	"jdvs/internal/analysis/passes/nilness"
+	"jdvs/internal/analysis/passes/statcount"
+	"jdvs/internal/analysis/passes/unusedwrite"
+)
+
+var all = []*analysis.Analyzer{
+	atomicmix.Analyzer,
+	mmappin.Analyzer,
+	lockhold.Analyzer,
+	knobthread.Analyzer,
+	statcount.Analyzer,
+	nilness.Analyzer,
+	unusedwrite.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jdvs-vet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jdvs-vet:", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jdvs-vet:", err)
+		os.Exit(2)
+	}
+
+	findings, err := analysis.RunAnalyzers(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jdvs-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: jdvs-vet [-only a,b] [-list] [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "Checks jdvs project invariants. Analyzers:\n\n")
+	for _, a := range all {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nFlags:\n")
+	flag.PrintDefaults()
+}

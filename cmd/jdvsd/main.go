@@ -47,6 +47,8 @@ func run() error {
 		snapshot  = flag.String("snapshot", "", "searcher: snapshot file to serve")
 		dim       = flag.Int("dim", cnn.DefaultDim, "searcher/blender: feature dimensionality")
 		nlists    = flag.Int("nlists", 64, "searcher: IVF lists (must match the snapshot)")
+		nprobe    = flag.Int("nprobe", 0, "searcher: inverted lists probed per query when the request does not specify (0 = default 8, clamped to -nlists)")
+		listCap   = flag.Int("list-cap", 0, "searcher: initial per-inverted-list capacity, in images (0 = library default; size to expected images per list to avoid growth churn during bulk loads)")
 		searchers = flag.String("searchers", "", "broker: searcher addresses, ';' between partitions, ',' between replicas")
 		brokers   = flag.String("brokers", "", "blender: comma-separated broker addresses")
 		blenders  = flag.String("blenders", "", "frontend: comma-separated blender addresses")
@@ -74,7 +76,8 @@ func run() error {
 			return fmt.Errorf("searcher needs -snapshot")
 		}
 		shard, err := index.New(index.Config{
-			Dim: *dim, NLists: *nlists, PQSubvectors: *pqM, RerankK: *pqRerank,
+			Dim: *dim, NLists: *nlists, ListInitialCap: *listCap, DefaultNProbe: *nprobe,
+			PQSubvectors: *pqM, RerankK: *pqRerank,
 			FeatureStore: *featStore, SpillDir: *spillDir,
 		})
 		if err != nil {

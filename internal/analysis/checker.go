@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported diagnostic, positioned and attributed.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every loaded non-standard
+// package in dependency order (so facts flow upstream → downstream) and
+// returns the findings from target packages, sorted by position.
+//
+// Packages that failed to type-check abort the run: analyzers assume
+// complete type information, and a finding produced from broken types is
+// noise.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	facts := newFactStore()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if pkg.Standard || pkg.Types == nil {
+			continue
+		}
+		if len(pkg.Errors) > 0 {
+			return nil, fmt.Errorf("analysis: %s does not type-check: %v", pkg.ImportPath, pkg.Errors[0])
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
+			}
+			target := pkg.Target
+			pass.report = func(d Diagnostic) {
+				if target {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Pos:      fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

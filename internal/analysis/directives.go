@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation escape hatches. Every analyzer that enforces a convention
+// offers one `//jdvs:<name>` directive so a human can assert the
+// invariant holds for reasons the analyzer cannot see; the directive's
+// required trailing comment documents that reason in place. A directive
+// suppresses findings of its analyzer on the same source line and on the
+// line directly below it (so it can sit above a statement), and a
+// directive on a func declaration covers the whole function where the
+// analyzer says so.
+//
+// Directive comments look like:
+//
+//	//jdvs:nolock reason this plain access is safe
+//
+// The directive name runs to the first space; everything after is the
+// justification (recommended, not enforced).
+
+// DirectiveAt reports whether a `//jdvs:name` directive is attached to
+// the line containing pos or to the line immediately above it.
+func (p *Pass) DirectiveAt(pos token.Pos, name string) bool {
+	p.buildDirectives()
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	lines := p.directives[tf]
+	ln := tf.Line(pos)
+	for _, d := range lines[ln] {
+		if d == name {
+			return true
+		}
+	}
+	for _, d := range lines[ln-1] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncDirective reports whether fn (a *ast.FuncDecl or *ast.FuncLit)
+// carries the directive: on its declaration line, the line above it, or
+// anywhere in a FuncDecl's doc comment.
+func (p *Pass) FuncDirective(fn ast.Node, name string) bool {
+	if decl, ok := fn.(*ast.FuncDecl); ok && decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if d, ok := parseDirective(c.Text); ok && d == name {
+				return true
+			}
+		}
+	}
+	return p.DirectiveAt(fn.Pos(), name)
+}
+
+func (p *Pass) buildDirectives() {
+	if p.directives != nil {
+		return
+	}
+	p.directives = map[*token.File]map[int][]string{}
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		lines := p.directives[tf]
+		if lines == nil {
+			lines = map[int][]string{}
+			p.directives[tf] = lines
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c.Text); ok {
+					ln := tf.Line(c.Pos())
+					lines[ln] = append(lines[ln], d)
+				}
+			}
+		}
+	}
+}
+
+// parseDirective extracts the name from a `//jdvs:name ...` comment.
+func parseDirective(text string) (string, bool) {
+	const prefix = "//jdvs:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks every node of every file, calling fn with the node and
+// the stack of its ancestors (stack[0] is the *ast.File, stack[len-1] is
+// n itself). fn returning false prunes the subtree. It is the
+// parent-aware traversal most passes need (x/tools gets this from
+// go/ast/inspector; this is the same contract on a plain ast.Inspect).
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// Prune: ast.Inspect will not send the matching nil, so
+				// pop now.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration or literal in
+// stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package knobthread_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/knobthread"
+)
+
+func TestKnobThread(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), knobthread.Analyzer, "knobthread/...")
+}

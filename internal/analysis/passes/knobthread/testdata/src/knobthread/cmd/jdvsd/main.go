@@ -1,0 +1,15 @@
+// Command jdvsd mirrors the repo's per-node daemon: knobs surface here
+// as flags. Dim is wired; NProbe and ListCap are not.
+package main // want `index\.Config\.NProbe is not surfaced as a jdvsd flag` `index\.Config\.ListCap is not surfaced as a jdvsd flag`
+
+import (
+	"flag"
+
+	"fixtures/src/knobthread/internal/index"
+)
+
+func main() {
+	dim := flag.Int("dim", 64, "feature dimensionality")
+	flag.Parse()
+	index.New(index.Config{Dim: *dim})
+}

@@ -1,0 +1,17 @@
+// Package cluster mirrors the repo's in-process cluster config layer.
+package cluster
+
+import "fixtures/src/knobthread/internal/index"
+
+// Config threads shard knobs to the harness — except ListCap, which was
+// forgotten.
+type Config struct { // want `index\.Config\.ListCap is not threaded into cluster\.Config`
+	Partitions int
+	Dim        int
+	NProbe     int
+}
+
+// Boot builds a shard config from the cluster one.
+func Boot(cfg Config) int {
+	return index.New(index.Config{Dim: cfg.Dim, NProbe: cfg.NProbe})
+}

@@ -1,0 +1,22 @@
+// Package index mirrors the repo's internal/index config surface.
+package index
+
+// Config carries per-shard knobs.
+type Config struct {
+	// Dim is threaded everywhere.
+	Dim int
+	// NProbe is threaded into cluster.Config but never became a daemon
+	// flag.
+	NProbe int
+	// ListCap never left this package.
+	ListCap int
+	// ScratchSlack is a build-time tuning constant, deliberately not a
+	// runtime knob.
+	//jdvs:noknob build-time constant, not runtime-tunable
+	ScratchSlack int
+
+	internalState int
+}
+
+// New uses cfg.
+func New(cfg Config) int { return cfg.Dim + cfg.NProbe + cfg.ListCap + cfg.ScratchSlack }

@@ -1,0 +1,356 @@
+// Package lockhold enforces the no-blocking-under-lock contract on the
+// shard, broker and stream-session mutexes: a critical section guards
+// in-memory state transitions, never I/O. An RPC, channel operation,
+// file/mmap write or sleep inside one stalls every reader and writer
+// behind the lock — in this codebase that means queries missing their
+// deadline because a snapshot chunk was draining to disk under the
+// session mutex.
+//
+// The pass is a per-function, source-order approximation: it tracks
+// mutexes locked and unlocked in the function body (a deferred unlock
+// holds to function end), and flags blocking operations — calls into
+// net/rpc-like packages, file and io operations, time.Sleep,
+// WaitGroup.Wait, channel sends/receives, and selects without a default
+// — issued while any mutex is held. Closures are analyzed as their own
+// (unlocked) functions, so blocking work handed to another goroutine is
+// fine; a helper that blocks, called under the lock, is missed — keep
+// critical sections small enough to read. `//jdvs:blocking-ok <reason>`
+// on the operation (or the enclosing function declaration) asserts the
+// operation cannot actually block there.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"jdvs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking operation (RPC, channel op, file/mmap I/O, sleep) while holding a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		c.fn = n
+		c.stmts(body.List, map[string]token.Pos{})
+		return true // nested FuncLits start their own (empty) lock state
+	})
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   ast.Node
+}
+
+// stmts processes a statement list in source order, threading the held
+// set through; it returns the set as of the end of the list.
+func (c *checker) stmts(list []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	for _, s := range list {
+		held = c.stmt(s, held)
+	}
+	return held
+}
+
+func (c *checker) branch(s ast.Stmt, held map[string]token.Pos) {
+	if s == nil {
+		return
+	}
+	cp := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	c.stmt(s, cp)
+}
+
+func (c *checker) stmt(s ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := c.mutexOp(st.X); ok {
+			switch op {
+			case "lock":
+				held[key] = st.Pos()
+			case "unlock":
+				delete(held, key)
+			}
+			return held
+		}
+		c.scan(st.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock means "held to function end", which the
+		// default (never removing the key) already models. Other
+		// deferred work runs during return with unknowable ordering
+		// against deferred unlocks; it is not checked.
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks;
+		// its body is analyzed as its own function.
+	case *ast.SendStmt:
+		c.reportBlocked(st.Pos(), "channel send", held)
+		c.scan(st.Chan, held)
+		c.scan(st.Value, held)
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.ReturnStmt, *ast.DeclStmt:
+		c.scan(s, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = c.stmt(st.Init, held)
+		}
+		c.scan(st.Cond, held)
+		c.branch(st.Body, held)
+		c.branch(st.Else, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = c.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			c.scan(st.Cond, held)
+		}
+		c.branch(st.Body, held)
+	case *ast.RangeStmt:
+		if tv, ok := c.pass.TypesInfo.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				c.reportBlocked(st.Pos(), "channel receive (range)", held)
+			}
+		}
+		c.scan(st.X, held)
+		c.branch(st.Body, held)
+	case *ast.BlockStmt:
+		held = c.stmts(st.List, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.reportBlocked(st.Pos(), "select without default", held)
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				for _, b := range cc.Body {
+					c.branch(b, held)
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = c.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			c.scan(st.Tag, held)
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, b := range cc.Body {
+					c.branch(b, held)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, b := range cc.Body {
+					c.branch(b, held)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		held = c.stmt(st.Stmt, held)
+	}
+	return held
+}
+
+// scan walks an expression (or expression-bearing statement) for
+// blocking operations, without descending into function literals.
+func (c *checker) scan(n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				c.reportBlocked(v.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if desc, ok := c.blockingCall(v); ok {
+				c.reportBlocked(v.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) reportBlocked(pos token.Pos, what string, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	if c.pass.DirectiveAt(pos, "blocking-ok") || c.pass.FuncDirective(c.fn, "blocking-ok") {
+		return
+	}
+	// Name one held mutex (the earliest-locked) for the message.
+	var key string
+	var at token.Pos
+	for k, p := range held {
+		if key == "" || p < at {
+			key, at = k, p
+		}
+	}
+	c.pass.Reportf(pos, "%s while holding %s (locked at %s); move it outside the critical section or annotate //jdvs:blocking-ok", what, strings.TrimSuffix(strings.TrimSuffix(key, "/W"), "/R"), c.pass.Fset.Position(at))
+}
+
+// mutexOp classifies e as a lock or unlock call on a sync mutex,
+// returning a key identifying (mutex expression, read-vs-write class).
+func (c *checker) mutexOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := c.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	rname := ""
+	if named, isNamed := rt.(*types.Named); isNamed {
+		rname = named.Obj().Name()
+	}
+	if rname != "Mutex" && rname != "RWMutex" && rname != "Locker" {
+		return "", "", false
+	}
+	base := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return base + "/W", "lock", true
+	case "RLock":
+		return base + "/R", "lock", true
+	case "Unlock":
+		return base + "/W", "unlock", true
+	case "RUnlock":
+		return base + "/R", "unlock", true
+	}
+	return "", "", false
+}
+
+// blockingPkgs block on (nearly) every call.
+var blockingPkgs = map[string]bool{
+	"net/http": true,
+	"net/rpc":  true,
+	"os/exec":  true,
+}
+
+// blockingFuncs lists (package, function-or-method) pairs that block.
+var blockingFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"os": {
+		"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+		"WriteString": true, "Sync": true, "Truncate": true,
+		"ReadFile": true, "WriteFile": true, "Open": true, "OpenFile": true,
+		"Create": true, "CreateTemp": true, "Rename": true, "Remove": true,
+		"RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+	},
+	"io": {
+		"Read": true, "Write": true, "ReadByte": true, "WriteByte": true,
+		"ReadRune": true, "ReadFull": true, "ReadAll": true, "Copy": true,
+		"CopyN": true, "CopyBuffer": true, "WriteString": true,
+	},
+	"bufio": {"Flush": true},
+	// net.Conn/Listener I/O entry points. Close and Addr accessors are
+	// deliberately absent: Close on a TCP conn without SO_LINGER does
+	// not block, and flagging it forbids the common close-under-mutex
+	// shutdown idiom for no latency win.
+	"net": {
+		"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+		"Accept": true, "AcceptTCP": true, "Dial": true, "DialTimeout": true,
+		"Listen": true, "ListenTCP": true, "ListenPacket": true,
+	},
+	"syscall": {
+		"Read": true, "Write": true, "Pread": true, "Pwrite": true,
+		"Fsync": true, "Ftruncate": true, "Fallocate": true,
+		"Mmap": true, "Munmap": true,
+	},
+}
+
+// blockingCall classifies a call as blocking. The callee must resolve to
+// a named function or method; calls through function values are not
+// classified (their declarations are checked where they block).
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := c.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	// Project RPC layers: any package whose import path ends in "rpc"
+	// talks to sockets on every exported entry point. Calls within the
+	// rpc package to its own helpers are exempt — their bodies are
+	// analyzed directly, and most are in-memory bookkeeping.
+	if last := path[strings.LastIndex(path, "/")+1:]; last == "rpc" && !blockingPkgs[path] && path != c.pass.Pkg.Path() {
+		return "RPC call " + name, true
+	}
+	if blockingPkgs[path] {
+		return "call to " + path + "." + name, true
+	}
+	if path == "sync" {
+		recv := fn.Type().(*types.Signature).Recv()
+		if name == "Wait" && recv != nil && strings.Contains(types.TypeString(recv.Type(), nil), "WaitGroup") {
+			return "WaitGroup.Wait", true
+		}
+		return "", false
+	}
+	if names, ok := blockingFuncs[path]; ok && names[name] {
+		return "call to " + path + "." + name, true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function or method object.
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := c.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

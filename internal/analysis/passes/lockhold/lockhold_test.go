@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockhold.Analyzer, "lockhold/...")
+}

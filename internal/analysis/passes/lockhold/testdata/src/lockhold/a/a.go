@@ -1,0 +1,123 @@
+// Package a seeds blocking operations inside and outside mutex critical
+// sections.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"fixtures/src/lockhold/rpc"
+)
+
+type session struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	state   int
+	cli     *rpc.Client
+	f       *os.File
+	updates chan int
+	done    chan struct{}
+}
+
+// badRPCUnderLock is the canonical violation: a socket round trip while
+// every other session operation queues behind mu.
+func (s *session) badRPCUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.cli.Call("x", nil) // want `RPC call Call while holding s.mu`
+	return err
+}
+
+func (s *session) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *session) badFileWrite(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.Write(b) // want `os.Write while holding s.mu`
+	return err
+}
+
+func (s *session) badChanSend(v int) {
+	s.mu.Lock()
+	s.updates <- v // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *session) badChanRecv() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.updates // want `channel receive while holding s.rw`
+}
+
+func (s *session) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding s.mu`
+	case <-s.done:
+	case v := <-s.updates:
+		s.state = v
+	}
+}
+
+// okUnlockFirst releases the mutex before the round trip.
+func (s *session) okUnlockFirst() error {
+	s.mu.Lock()
+	method := "x"
+	s.mu.Unlock()
+	_, err := s.cli.Call(method, nil)
+	return err
+}
+
+// okBranchUnlock: the early-return path unlocks before blocking.
+func (s *session) okBranchUnlock(fast bool) error {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		_, err := s.cli.Call("fast", nil)
+		return err
+	}
+	s.state++
+	s.mu.Unlock()
+	return nil
+}
+
+// okNonBlockingSelect: a default arm makes the select a poll.
+func (s *session) okNonBlockingSelect() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// okGoroutine: the blocking work runs on a fresh goroutine that holds no
+// lock.
+func (s *session) okGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_, _ = s.cli.Call("async", nil)
+	}()
+}
+
+// okAnnotated asserts the send cannot block (buffered, sized to the
+// maximum outstanding count).
+func (s *session) okAnnotated(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updates <- v //jdvs:blocking-ok buffer sized to max outstanding updates
+}
+
+// okNoLock blocks freely with nothing held.
+func (s *session) okNoLock() {
+	time.Sleep(time.Millisecond)
+	<-s.done
+}

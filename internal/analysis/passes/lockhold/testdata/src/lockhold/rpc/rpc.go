@@ -1,0 +1,9 @@
+// Package rpc stands in for the project's RPC layer: every entry point
+// talks to a socket.
+package rpc
+
+type Client struct{}
+
+func (c *Client) Call(method string, body []byte) ([]byte, error) { return body, nil }
+
+func Dial(addr string) (*Client, error) { return &Client{}, nil }

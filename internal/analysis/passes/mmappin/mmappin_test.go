@@ -1,0 +1,12 @@
+package mmappin_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/mmappin"
+)
+
+func TestMmapPin(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), mmappin.Analyzer, "mmappin/...")
+}

@@ -1,0 +1,82 @@
+// Package a seeds the PR 5 finalizer hazard: raw rows read from a
+// rowStore after the owning shard's last (liveness-visible) use, with and
+// without the runtime.KeepAlive pin.
+package a
+
+import "runtime"
+
+type rowStore interface {
+	Row(id uint32) []float32
+	Len() int
+}
+
+type mmapMat struct {
+	data []float32
+	dim  int
+}
+
+func (m *mmapMat) Row(id uint32) []float32 {
+	return m.data[int(id)*m.dim : (int(id)+1)*m.dim]
+}
+
+func (m *mmapMat) Len() int { return len(m.data) / m.dim }
+
+type shard struct {
+	feats rowStore
+}
+
+// searchPinned is the contractually correct shape: the pin outlives every
+// row dereference.
+func (s *shard) searchPinned(q []float32) float32 {
+	defer runtime.KeepAlive(s)
+	best := float32(0)
+	for id := uint32(0); int(id) < s.feats.Len(); id++ {
+		row := s.feats.Row(id)
+		best += row[0] * q[0]
+	}
+	return best
+}
+
+// searchUnpinned reads rows with no pin anywhere: the store's finalizer
+// may unmap mid-loop once s is no longer referenced.
+func (s *shard) searchUnpinned(q []float32) float32 {
+	best := float32(0)
+	for id := uint32(0); int(id) < s.feats.Len(); id++ {
+		row := s.feats.Row(id) // want `without pinning its owner`
+		best += row[0] * q[0]
+	}
+	return best
+}
+
+// rowMethodValue passes the accessor itself along; the rows it yields
+// escape this frame with nothing pinned.
+func (s *shard) rowMethodValue(consume func(func(uint32) []float32)) {
+	consume(s.feats.Row) // want `without pinning its owner`
+}
+
+// accessor hands a single row to the caller, who is documented to hold
+// the pin.
+//
+//jdvs:pinned caller holds the query-scope KeepAlive
+func (s *shard) accessor(id uint32) []float32 {
+	return s.feats.Row(id)
+}
+
+// closureCovered: the KeepAlive in the enclosing function covers the
+// worker closure it spawns and waits for.
+func (s *shard) closureCovered(ids []uint32) float32 {
+	defer runtime.KeepAlive(s)
+	var sum float32
+	add := func(id uint32) {
+		sum += s.feats.Row(id)[0]
+	}
+	for _, id := range ids {
+		add(id)
+	}
+	return sum
+}
+
+// directMmap reads from a concrete mmap-backed store.
+func directMmap(m *mmapMat) float32 {
+	return m.Row(0)[0] // want `without pinning its owner`
+}

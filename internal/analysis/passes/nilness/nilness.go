@@ -1,0 +1,140 @@
+// Package nilness is a stdlib-only stand-in for the stock
+// golang.org/x/tools nilness pass (the build environment is offline, so
+// the x/tools module cannot be fetched). It covers the subset of the
+// stock pass that has bitten this codebase: dereferencing a value inside
+// the branch that just proved it nil.
+//
+// The pass matches `if x == nil { ... }` (and the else arm of
+// `if x != nil`) and reports field selections, calls, index expressions
+// and explicit dereferences of x inside that branch, up to the first
+// reassignment of x. It is intraprocedural and syntactic — no SSA — so
+// it catches strictly fewer bugs than the stock pass and no extra ones.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jdvs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences of values the guarding condition proved nil (lite, stdlib-only)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		obj, eq := nilComparison(pass, ifStmt.Cond)
+		if obj == nil {
+			return true
+		}
+		var branch *ast.BlockStmt
+		if eq {
+			branch = ifStmt.Body
+		} else if b, ok := ifStmt.Else.(*ast.BlockStmt); ok {
+			branch = b
+		}
+		if branch == nil {
+			return true
+		}
+		checkBranch(pass, branch, obj)
+		return true
+	})
+	return nil
+}
+
+// nilComparison matches `x == nil` (eq=true) and `x != nil` (eq=false)
+// for an identifier x of a nilable type.
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (types.Object, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	expr, other := bin.X, bin.Y
+	if tv, ok := pass.TypesInfo.Types[other]; !ok || !tv.IsNil() {
+		if tv, ok := pass.TypesInfo.Types[expr]; !ok || !tv.IsNil() {
+			return nil, false
+		}
+		expr, other = other, expr
+	}
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	return obj, bin.Op == token.EQL
+}
+
+// checkBranch reports dereferences of obj inside branch that occur
+// before any reassignment of obj.
+func checkBranch(pass *analysis.Pass, branch *ast.BlockStmt, obj types.Object) {
+	// Find the first position at which obj is assigned a new value
+	// inside the branch; uses beyond it are no longer provably nil.
+	killed := token.Pos(0)
+	ast.Inspect(branch, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj {
+					if killed == 0 || as.Pos() < killed {
+						killed = as.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			if isObjUse(pass, v.X, obj) && inRange(v.Pos(), killed) {
+				// Only field selections through a pointer panic; method
+				// calls on nil receivers are legal Go.
+				if sel, ok := pass.TypesInfo.Selections[v]; ok && sel.Kind() == types.FieldVal {
+					if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+						pass.Reportf(v.Pos(), "nil dereference in field selection")
+					}
+				}
+			}
+		case *ast.StarExpr:
+			if isObjUse(pass, v.X, obj) && inRange(v.Pos(), killed) {
+				pass.Reportf(v.Pos(), "nil dereference in load")
+			}
+		case *ast.CallExpr:
+			if isObjUse(pass, v.Fun, obj) && inRange(v.Pos(), killed) {
+				pass.Reportf(v.Pos(), "call of nil function")
+			}
+		case *ast.IndexExpr:
+			if isObjUse(pass, v.X, obj) && inRange(v.Pos(), killed) {
+				switch obj.Type().Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(v.Pos(), "index of nil slice")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isObjUse(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+func inRange(pos, killed token.Pos) bool {
+	return killed == 0 || pos < killed
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nilness.Analyzer, "nilness/...")
+}

@@ -1,0 +1,73 @@
+package a
+
+type node struct {
+	val  int
+	next *node
+}
+
+func badField(p *node) int {
+	if p == nil {
+		return p.val // want `nil dereference in field selection`
+	}
+	return p.val
+}
+
+func badElse(p *node) int {
+	if p != nil {
+		return p.val
+	} else {
+		return p.val // want `nil dereference in field selection`
+	}
+}
+
+func badLoad(p *node) node {
+	if p == nil {
+		return *p // want `nil dereference in load`
+	}
+	return *p
+}
+
+func badCall(fn func() int) int {
+	if fn == nil {
+		return fn() // want `call of nil function`
+	}
+	return fn()
+}
+
+func badIndex(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `index of nil slice`
+	}
+	return xs[0]
+}
+
+func okReassigned(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val
+	}
+	return p.val
+}
+
+func okMethodOnNil(p *node) int {
+	// Method calls on nil receivers are legal; walk handles nil.
+	if p == nil {
+		return p.walk()
+	}
+	return p.walk()
+}
+
+func (p *node) walk() int {
+	if p == nil {
+		return 0
+	}
+	return p.val
+}
+
+func okMapRead(m map[string]int) int {
+	// Reading a nil map is defined behavior.
+	if m == nil {
+		return m["k"]
+	}
+	return m["k"]
+}

@@ -1,0 +1,176 @@
+// Package statcount enforces the counted-error-path contract in the
+// serving tiers (searcher, broker, rpc): an error branch that swallows
+// the error — neither returning it, wrapping it, assigning it onward nor
+// panicking — is dropping work, and dropped work must be visible in a
+// Stats counter (searcher.Stats.Dropped, broker failures, ...). PR 2's
+// poison-message accounting and PR 3's failed-attempt counting both
+// exist because silently swallowed errors had already cost a debugging
+// session each.
+//
+// The pass flags `if err != nil { ... }` bodies that make no further use
+// of err and contain no counter increment. A counter increment is a
+// method call named Add/Inc/Incr/Count/Record, a sync/atomic Add, or a
+// ++/+= on a struct field. Branches that are intentionally uncounted
+// (e.g. best-effort cleanup) carry `//jdvs:nostat <reason>`.
+package statcount
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"jdvs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statcount",
+	Doc:  "error paths that drop work in searcher/broker/rpc must increment a Stats counter",
+	Run:  run,
+}
+
+// targetSuffixes are the serving-tier packages under contract.
+var targetSuffixes = []string{
+	"internal/search/searcher",
+	"internal/search/broker",
+	"internal/rpc",
+}
+
+var counterNames = map[string]bool{
+	"Add": true, "Inc": true, "Incr": true, "Count": true, "Record": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	match := false
+	for _, s := range targetSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return nil
+	}
+
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		errObj := errNilCheck(pass, ifStmt.Cond)
+		if errObj == nil {
+			return true
+		}
+		if usesObj(pass, ifStmt.Body, errObj) || hasCounter(pass, ifStmt.Body) || hasPanic(pass, ifStmt.Body) {
+			return true
+		}
+		if pass.DirectiveAt(ifStmt.Pos(), "nostat") {
+			return true
+		}
+		pass.Reportf(ifStmt.Pos(), "error path drops work without using %s or incrementing a Stats counter; count the drop or annotate //jdvs:nostat", errObj.Name())
+		return true
+	})
+	return nil
+}
+
+// errNilCheck matches `X != nil` where X is an error-typed identifier,
+// returning X's object.
+func errNilCheck(pass *analysis.Pass, cond ast.Expr) types.Object {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil
+	}
+	expr, other := bin.X, bin.Y
+	if tv, ok := pass.TypesInfo.Types[other]; !ok || !tv.IsNil() {
+		if tv, ok := pass.TypesInfo.Types[expr]; !ok || !tv.IsNil() {
+			return nil
+		}
+		expr, other = other, expr
+	}
+	_ = other
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isErrorType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func usesObj(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func hasPanic(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCounter looks for any recognized counter increment in body.
+func hasCounter(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+					if fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && strings.HasPrefix(fn.Name(), "Add") {
+						found = true
+						return false
+					}
+					// Method increments: x.dropped.Add(1),
+					// stats.IncDropped(), w.Record(d) ...
+					if fn.Type().(*types.Signature).Recv() != nil {
+						for name := range counterNames {
+							if fn.Name() == name || strings.HasPrefix(fn.Name(), name) {
+								found = true
+								return false
+							}
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if v.Tok == token.INC {
+				if _, ok := ast.Unparen(v.X).(*ast.SelectorExpr); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 {
+				if _, ok := ast.Unparen(v.Lhs[0]).(*ast.SelectorExpr); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

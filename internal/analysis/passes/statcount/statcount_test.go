@@ -1,0 +1,12 @@
+package statcount_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/statcount"
+)
+
+func TestStatCount(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), statcount.Analyzer, "statcount/...")
+}

@@ -1,0 +1,83 @@
+// Package searcher mirrors the serving-tier shape the statcount contract
+// covers: a consume loop where errors either propagate, get counted, or
+// silently drop work.
+package searcher
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+type stats struct {
+	dropped    atomic.Int64
+	applyFails int64
+}
+
+type searcher struct {
+	stats stats
+	queue []func() error
+}
+
+var errPoison = errors.New("poison")
+
+// okPropagated returns the error onward.
+func (s *searcher) okPropagated() error {
+	for _, apply := range s.queue {
+		if err := apply(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// okCountedAtomic drops the message but counts it.
+func (s *searcher) okCountedAtomic() {
+	for _, apply := range s.queue {
+		if err := apply(); err != nil {
+			s.stats.dropped.Add(1)
+			continue
+		}
+	}
+}
+
+// okCountedPlain counts through a field increment.
+func (s *searcher) okCountedPlain() {
+	for _, apply := range s.queue {
+		if err := apply(); err != nil {
+			s.stats.applyFails++
+			continue
+		}
+	}
+}
+
+// okWrapped uses the error even though it does not return it directly.
+func (s *searcher) okWrapped() error {
+	var last error
+	for _, apply := range s.queue {
+		if err := apply(); err != nil {
+			last = errors.Join(errPoison, err)
+			continue
+		}
+	}
+	return last
+}
+
+// badSilentDrop swallows the error: the message is gone and no counter
+// moved.
+func (s *searcher) badSilentDrop() {
+	for _, apply := range s.queue {
+		if err := apply(); err != nil { // want `error path drops work without using err or incrementing a Stats counter`
+			continue
+		}
+	}
+}
+
+// okAnnotated documents why this drop is deliberately uncounted.
+func (s *searcher) okAnnotated() {
+	for _, apply := range s.queue {
+		//jdvs:nostat best-effort prefetch, failure is not dropped work
+		if err := apply(); err != nil {
+			continue
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package a
+
+type point struct{ x, y int }
+
+// badCopyWrite mutates a copy obtained from a range or assignment and
+// never reads it back.
+func badCopyWrite(src point) int {
+	p := src
+	p.x = 1 // want `unused write to field x: p is a copy that is never read afterwards`
+	return src.x
+}
+
+func badDoubleWrite(src point) {
+	p := src
+	p.x = 1 // want `unused write to field x`
+	p.y = 2 // want `unused write to field y`
+}
+
+func okReadBack(src point) int {
+	p := src
+	p.x = 1
+	return p.x
+}
+
+func okAddressTaken(src point) *point {
+	p := src
+	p.x = 1
+	return &p
+}
+
+func okPassedOn(src point) {
+	p := src
+	p.x = 1
+	use(p)
+}
+
+func okInLoop(src point) int {
+	p := src
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += p.x
+		p.x = i // read on the next iteration; loop writes are skipped
+	}
+	return total
+}
+
+func okClosure(src point) func() int {
+	p := src
+	p.x = 1
+	return func() int { return p.x }
+}
+
+func use(point) {}

@@ -1,0 +1,209 @@
+// Package unusedwrite is a stdlib-only stand-in for the stock
+// golang.org/x/tools unusedwrite pass (the build environment is offline,
+// so the x/tools module cannot be fetched). It reports writes to fields
+// of a local struct variable whose value is never read again — almost
+// always a sign that the author meant to mutate through a pointer and
+// instead mutated a copy.
+//
+// Without SSA the pass is deliberately conservative: a variable is only
+// eligible if it is a local non-pointer struct that is never
+// address-taken, never receives a method call, and never appears inside
+// a closure or defer; a write is only reported if it sits outside any
+// loop and no read of the variable follows it in source order.
+package unusedwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"jdvs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "report field writes to a local struct copy that is never read afterwards (lite, stdlib-only)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type fieldWrite struct {
+	assign *ast.AssignStmt
+	sel    *ast.SelectorExpr
+	obj    types.Object
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	locals := eligibleLocals(pass, body)
+	if len(locals) == 0 {
+		return
+	}
+
+	// Classify every identifier mention of each eligible local as a
+	// read or a write target, and collect field writes.
+	var writes []fieldWrite
+	writeIdents := map[*ast.Ident]bool{} // idents that only name a write destination
+	reads := map[types.Object][]token.Pos{}
+
+	analysisWithBody(body, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				// `v = ...` overwrites the whole value: the ident is a
+				// write destination, not a read.
+				if obj := identObj(pass, l); obj != nil && locals[obj] {
+					writeIdents[l] = true
+				}
+			case *ast.SelectorExpr:
+				if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+					if obj := identObj(pass, id); obj != nil && locals[obj] {
+						if sel, ok := pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+							writeIdents[id] = true
+							if !insideLoop(stack) {
+								writes = append(writes, fieldWrite{assign: as, sel: l, obj: obj})
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	analysisWithBody(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || writeIdents[id] {
+			return true
+		}
+		if obj := identObj(pass, id); obj != nil && locals[obj] {
+			reads[obj] = append(reads[obj], id.Pos())
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		lastRead := token.Pos(0)
+		for _, p := range reads[w.obj] {
+			if p > lastRead {
+				lastRead = p
+			}
+		}
+		if lastRead > w.assign.End() {
+			continue
+		}
+		pass.Reportf(w.assign.Pos(), "unused write to field %s: %s is a copy that is never read afterwards", w.sel.Sel.Name, w.obj.Name())
+	}
+}
+
+// eligibleLocals returns local non-pointer struct variables that are
+// safe to reason about positionally: never address-taken, no method
+// calls, not mentioned inside closures or defers.
+func eligibleLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	locals := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if _, isStruct := obj.Type().Underlying().(*types.Struct); isStruct {
+			locals[obj] = true
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return locals
+	}
+
+	disqualify := func(obj types.Object) { delete(locals, obj) }
+	analysisWithBody(body, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if id, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+					if obj := identObj(pass, id); obj != nil {
+						disqualify(obj)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method call (or method value) takes the address of an
+			// addressable receiver implicitly.
+			if sel, ok := pass.TypesInfo.Selections[v]; ok && sel.Kind() != types.FieldVal {
+				if id, ok := ast.Unparen(v.X).(*ast.Ident); ok {
+					if obj := identObj(pass, id); obj != nil {
+						disqualify(obj)
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := identObj(pass, v); obj != nil && locals[obj] {
+				for _, anc := range stack {
+					switch anc.(type) {
+					case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+						disqualify(obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func insideLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// analysisWithBody runs a parent-stack walk over a single function body.
+func analysisWithBody(body *ast.BlockStmt, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}

@@ -1,0 +1,12 @@
+package unusedwrite_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/unusedwrite"
+)
+
+func TestUnusedWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), unusedwrite.Analyzer, "unusedwrite/...")
+}

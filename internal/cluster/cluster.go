@@ -55,6 +55,11 @@ type Config struct {
 	Dim int
 	// NLists is the IVF cluster count per shard (default 64).
 	NLists int
+	// ListInitialCap pre-allocates each inverted list in every shard
+	// (index.Config.ListInitialCap; 0 takes inverted.DefaultInitialCap).
+	// Size it to expected images per list to avoid migration churn while
+	// bulk-loading.
+	ListInitialCap int
 	// DefaultNProbe is the per-searcher probe width (default 8).
 	DefaultNProbe int
 	// SearchWorkers is the intra-query scan parallelism inside each
@@ -214,14 +219,15 @@ func Start(cfg Config) (*Cluster, error) {
 	full, err := indexer.NewFull(indexer.FullConfig{
 		Partitions: cfg.Partitions,
 		Shard: index.Config{
-			Dim:           cfg.Dim,
-			NLists:        cfg.NLists,
-			DefaultNProbe: cfg.DefaultNProbe,
-			SearchWorkers: cfg.SearchWorkers,
-			PQSubvectors:  cfg.PQSubvectors,
-			RerankK:       cfg.RerankK,
-			FeatureStore:  cfg.FeatureStore,
-			SpillDir:      cfg.SpillDir,
+			Dim:            cfg.Dim,
+			NLists:         cfg.NLists,
+			ListInitialCap: cfg.ListInitialCap,
+			DefaultNProbe:  cfg.DefaultNProbe,
+			SearchWorkers:  cfg.SearchWorkers,
+			PQSubvectors:   cfg.PQSubvectors,
+			RerankK:        cfg.RerankK,
+			FeatureStore:   cfg.FeatureStore,
+			SpillDir:       cfg.SpillDir,
 		},
 		Seed: cfg.FeatureSeed,
 	}, c.resolver)
@@ -506,14 +512,15 @@ func (c *Cluster) Reindex() error {
 	full, err := indexer.NewFull(indexer.FullConfig{
 		Partitions: c.cfg.Partitions,
 		Shard: index.Config{
-			Dim:           c.cfg.Dim,
-			NLists:        c.cfg.NLists,
-			DefaultNProbe: c.cfg.DefaultNProbe,
-			SearchWorkers: c.cfg.SearchWorkers,
-			PQSubvectors:  c.cfg.PQSubvectors,
-			RerankK:       c.cfg.RerankK,
-			FeatureStore:  c.cfg.FeatureStore,
-			SpillDir:      c.cfg.SpillDir,
+			Dim:            c.cfg.Dim,
+			NLists:         c.cfg.NLists,
+			ListInitialCap: c.cfg.ListInitialCap,
+			DefaultNProbe:  c.cfg.DefaultNProbe,
+			SearchWorkers:  c.cfg.SearchWorkers,
+			PQSubvectors:   c.cfg.PQSubvectors,
+			RerankK:        c.cfg.RerankK,
+			FeatureStore:   c.cfg.FeatureStore,
+			SpillDir:       c.cfg.SpillDir,
 		},
 		Seed: c.cfg.FeatureSeed,
 	}, c.resolver)

@@ -151,9 +151,11 @@ func RunFig11(cfg Fig11Config) (*Fig11Result, error) {
 			time.Sleep(rest)
 		}
 	}
+	drainTimeout := time.NewTimer(10 * time.Minute)
+	defer drainTimeout.Stop()
 	select {
 	case <-done:
-	case <-time.After(10 * time.Minute):
+	case <-drainTimeout.C:
 		return nil, fmt.Errorf("fig11: drain timeout (%d/%d)", applied, target)
 	}
 	wall := time.Since(start)

@@ -125,9 +125,11 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 			published++
 		}
 	}
+	drainTimeout := time.NewTimer(10 * time.Minute)
+	defer drainTimeout.Stop()
 	select {
 	case <-done:
-	case <-time.After(10 * time.Minute):
+	case <-drainTimeout.C:
 		return nil, fmt.Errorf("table1: drain timeout (%d/%d applied)", applied, target)
 	}
 	res.Wall = time.Since(start)

@@ -316,6 +316,8 @@ func (s *Shard) TrainPQ(features []float32, seed int64) error {
 // time-clustered), and a prefix sample would fit the quantizer to one
 // slice of the feature distribution.
 func (s *Shard) TrainPQStored(sample int, seed int64) error {
+	// Keep the mmap mapping alive across the Row reads (see Search).
+	defer runtime.KeepAlive(s)
 	n := s.feats.Len()
 	if n == 0 {
 		return errors.New("index: no stored features to train PQ on")
@@ -348,6 +350,8 @@ func (s *Shard) SetPQCodebook(cb *pq.Codebook) error {
 // installPQ backfills codes for every committed feature row and publishes
 // the ADC state.
 func (s *Shard) installPQ(cb *pq.Codebook) error {
+	// Keep the mmap mapping alive across the Row reads (see Search).
+	defer runtime.KeepAlive(s)
 	codes := newCodeMat(cb.M)
 	n := uint32(s.feats.Len())
 	code := make([]byte, cb.M)
@@ -423,6 +427,9 @@ func (s *Shard) SetSearchWorkers(n int) {
 // returns the image's (possibly new) ID and whether an existing record
 // was reused.
 func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool, error) {
+	// The reuse path below compares against a stored row; keep the mmap
+	// mapping alive across that read (see Search).
+	defer runtime.KeepAlive(s)
 	if s.codebook == nil {
 		return 0, false, ErrNotTrained
 	}
@@ -712,6 +719,8 @@ func (s *Shard) Attrs(id core.ImageID) (core.Attrs, bool) { return s.fwd.Get(id)
 // not modify it, and must keep the shard reachable while using it: with
 // FeatureStoreMmap the slice points into a mapping that is unmapped when
 // the shard is finalized or Closed.
+//
+//jdvs:pinned accessor returns the raw row; the doc contract above moves the pin to the caller
 func (s *Shard) Feature(id core.ImageID) []float32 { return s.feats.Row(id) }
 
 // searchScratch is the pooled per-query scratch: probe-selection buffers,
@@ -851,6 +860,10 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 // Striding interleaves the (distance-ordered, unevenly sized) lists across
 // workers for balanced shares.
 func (s *Shard) scanLists(req *core.SearchRequest, lists []int, start, stride int, sel *topk.Selector) int {
+	// Search pins the shard for the whole query, but workers run this on
+	// their own goroutines; pin here too so the row reads stay covered no
+	// matter who calls.
+	defer runtime.KeepAlive(s)
 	scanned := 0
 	scan := func(id uint32) bool {
 		if !s.valid.Get(id) {
@@ -933,6 +946,9 @@ func (s *Shard) scanStriped(workers, k int, sc *searchScratch, scan func(start, 
 // re-rank that short list against the raw feature rows and keep the exact
 // top k. Returns the final items and the number of candidates scored.
 func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, sc *searchScratch, ps *shardPQ) ([]topk.Item, int) {
+	// The exact re-rank reads raw rows; keep the mmap mapping alive for
+	// the duration (see Search).
+	defer runtime.KeepAlive(s)
 	// Dimensions were validated against the shard config, and the codebook
 	// was validated against the shard at install time, so BuildLUT cannot
 	// fail here.

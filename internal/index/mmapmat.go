@@ -177,6 +177,8 @@ func (m *mmapMat) writeTo(w io.Writer) (int64, error) {
 // readFrom replaces the contents from a writeTo stream. The feature
 // section is read straight into the mapping — the rows never pass through
 // heap chunks — then published with one length store. Not concurrent-safe.
+//
+//jdvs:blocking-ok snapshot load is writer-context with searches quiesced; mu is held across the reads only to exclude Close
 func (m *mmapMat) readFrom(r io.Reader) (int64, error) {
 	var read int64
 	var hdr [8]byte
@@ -254,6 +256,8 @@ func (m *mmapMat) dropPages() error {
 
 // Close unmaps every mapping generation and closes the (already unlinked)
 // spill file, releasing its storage. Reads and writes must be quiesced.
+//
+//jdvs:blocking-ok teardown with reads quiesced; mu must cover the unmaps to exclude a concurrent load or grow
 func (m *mmapMat) Close() error {
 	if !m.closed.CompareAndSwap(false, true) {
 		return nil

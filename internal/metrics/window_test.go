@@ -86,6 +86,92 @@ func TestWindowDefaultSizeAndNegativeClamp(t *testing.T) {
 	}
 }
 
+// TestWindowQuantileBeforeWarmup: below windowRefreshEvery records the
+// cached estimate is still warm-up zero, but the on-demand Quantile is
+// already exact over the partial fill — the two read paths must disagree
+// in exactly this way, or hedging would act on empty estimates.
+func TestWindowQuantileBeforeWarmup(t *testing.T) {
+	w := NewWindow(64, 95)
+	for i := 0; i < windowRefreshEvery-1; i++ {
+		w.Record(3 * time.Millisecond)
+	}
+	if got := w.Tracked(0); got != 0 {
+		t.Fatalf("Tracked before first refresh = %v, want 0", got)
+	}
+	if got := w.Quantile(95); got != 3*time.Millisecond {
+		t.Fatalf("on-demand Quantile before warmup = %v, want 3ms", got)
+	}
+	// The next record crosses the refresh boundary and populates the cache.
+	w.Record(3 * time.Millisecond)
+	if got := w.Tracked(0); got != 3*time.Millisecond {
+		t.Fatalf("Tracked after refresh = %v, want 3ms", got)
+	}
+}
+
+// TestWindowWrapAtRefreshInterval sizes the ring to exactly
+// windowRefreshEvery so the first wrap position coincides with the first
+// refresh. The refresh must see the fully-filled ring (not an empty or
+// doubled view), and the next record must overwrite slot 0.
+func TestWindowWrapAtRefreshInterval(t *testing.T) {
+	w := NewWindow(windowRefreshEvery, 100)
+	for i := 1; i <= windowRefreshEvery; i++ {
+		w.Record(time.Duration(i) * time.Millisecond)
+	}
+	if w.Count() != windowRefreshEvery {
+		t.Fatalf("count = %d, want %d", w.Count(), windowRefreshEvery)
+	}
+	wantMax := time.Duration(windowRefreshEvery) * time.Millisecond
+	if got := w.Tracked(0); got != wantMax {
+		t.Fatalf("Tracked(p100) at wrap boundary = %v, want %v", got, wantMax)
+	}
+	if got := w.Quantile(100); got != wantMax {
+		t.Fatalf("Quantile(100) at wrap boundary = %v, want %v", got, wantMax)
+	}
+	// Record windowRefreshEvery+1 wraps to slot 0: the 1ms sample is
+	// evicted and the new maximum takes its place.
+	w.Record(2 * wantMax)
+	if got := w.Quantile(100); got != 2*wantMax {
+		t.Fatalf("post-wrap Quantile(100) = %v, want %v", got, 2*wantMax)
+	}
+	qs := w.Quantiles(1)
+	if qs[0] != 2*time.Millisecond {
+		t.Fatalf("post-wrap minimum = %v, want 2ms (slot 0 overwritten)", qs[0])
+	}
+}
+
+// TestWindowConcurrentRecordQuantile races on-demand Quantile snapshots
+// against writers continuously wrapping a tiny ring — under -race this
+// pins down that snapshot reads and slot overwrites stay torn-free.
+func TestWindowConcurrentRecordQuantile(t *testing.T) {
+	w := NewWindow(windowRefreshEvery, 50)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				w.Record(time.Duration(g+i) * time.Microsecond)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		_ = w.Quantile(95)
+		_ = w.Quantiles(50, 99)
+		_ = w.Tracked(0)
+	}
+	close(stop)
+	wg.Wait()
+	if w.Count() == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
 // TestWindowConcurrent hammers Record/Tracked/Quantile from many
 // goroutines; run under -race this is the lock-cheapness contract.
 func TestWindowConcurrent(t *testing.T) {

@@ -112,6 +112,7 @@ func (s *Server) acceptLoop(lis net.Listener) {
 	defer s.wg.Done()
 	for {
 		conn, err := lis.Accept()
+		//jdvs:nostat accept fails only when the listener closes; shutdown, not dropped work
 		if err != nil {
 			return // listener closed
 		}
@@ -141,6 +142,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer handlerWG.Wait()
 	for {
 		frame, err := readFrame(conn)
+		//jdvs:nostat read failure is connection teardown; in-flight handlers drain via handlerWG, nothing is dropped
 		if err != nil {
 			return
 		}
@@ -313,6 +315,7 @@ func (c *Client) failAll(err error) {
 	c.err = err
 	for id, ch := range c.pending {
 		delete(c.pending, id)
+		//jdvs:blocking-ok pending channels are buffered (cap 1) and get exactly one send, so this never blocks
 		ch <- result{err: fmt.Errorf("%w (%v)", ErrClosed, err)}
 	}
 	close(c.done)
@@ -343,6 +346,7 @@ func (c *Client) Call(ctx context.Context, method uint16, payload []byte) ([]byt
 	copy(frame[4+reqHeader:], payload)
 
 	c.writeMu.Lock()
+	//jdvs:blocking-ok writeMu exists only to serialize frame writes on the socket; it guards no other state
 	_, werr := c.conn.Write(frame)
 	c.writeMu.Unlock()
 	if werr != nil {

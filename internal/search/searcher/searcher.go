@@ -449,6 +449,7 @@ func (s *Searcher) realtimeLoop(consumer *mq.Consumer) {
 		default:
 		}
 		msgs, err := consumer.Poll(256, 50*time.Millisecond)
+		//jdvs:nostat Poll errors only when the queue is closed; loop exit, not a dropped update
 		if err != nil {
 			return // queue closed
 		}
