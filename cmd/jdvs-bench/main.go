@@ -8,6 +8,7 @@
 //	jdvs-bench -experiment fig12  [-duration 3s] [-products N] [-rate N]
 //	jdvs-bench -experiment fig13  [-duration 2s] [-products N]
 //	jdvs-bench -experiment hedge  [-duration 3s] [-replicas 2] [-slow-replica-ms 200] [-slow-replica-frac 0.2]
+//	jdvs-bench -experiment filtered [-duration 2s] [-filter-selectivity 0.01] [-products N]
 //	jdvs-bench -experiment all
 //
 // Scale flags default to laptop-friendly sizes; raise -products /-events
@@ -16,6 +17,11 @@
 // The hedge experiment injects -slow-replica-ms of extra latency into
 // -slow-replica-frac of the last replica's searches on every partition and
 // compares full-stack query tails with broker hedging off and on.
+//
+// The filtered experiment runs one query stream twice — unscoped, then with
+// every query scoped to its product's category over a catalog sized so a
+// scoped query admits ≈ -filter-selectivity of the corpus — and reports how
+// the searchers' bitmap-admission pushdown keeps the scoped page full.
 package main
 
 import (
@@ -36,7 +42,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "which artifact to regenerate: table1, fig11, fig12, fig13, all")
+		experiment = flag.String("experiment", "all", "which artifact to regenerate: table1, fig11, fig12, fig13, hedge, filtered, all")
 		events     = flag.Int("events", 0, "update events for table1/fig11 (0 = default scale)")
 		day        = flag.Duration("day", 0, "real duration of fig11's simulated day (0 = default 12s)")
 		duration   = flag.Duration("duration", 0, "measurement window per setting for fig12/fig13 (0 = defaults)")
@@ -51,6 +57,7 @@ func run() error {
 		pqRerank   = flag.Int("pq-rerank", 0, "fig12/fig13/hedge: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
 		featStore  = flag.String("feature-store", "", "fig12/fig13/hedge: where searcher shards keep raw feature rows: ram (default, dim×4 heap bytes/image) or mmap (rows in a page-cache-served spill file; RAM holds only the M-byte PQ codes)")
 		spillDir   = flag.String("spill-dir", "", "fig12/fig13/hedge: directory for feature-store spill files with -feature-store mmap (default: OS temp dir)")
+		filterSel  = flag.Float64("filter-selectivity", 0, "filtered: fraction of the corpus one scoped query admits; the catalog gets round(1/selectivity) categories (0 = default 0.01)")
 	)
 	flag.Parse()
 
@@ -114,14 +121,28 @@ func run() error {
 				return err
 			}
 			fmt.Println(res.Render())
+		case "filtered":
+			res, err := experiments.RunFiltered(experiments.FilteredConfig{
+				Selectivity:  *filterSel,
+				Duration:     *duration,
+				Partitions:   *partitions,
+				Products:     *products,
+				PQSubvectors: *pqM,
+				RerankK:      *pqRerank,
+				Seed:         *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
 		default:
-			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, hedge, all)", name)
+			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, hedge, filtered, all)", name)
 		}
 		return nil
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig11", "fig12", "fig13", "hedge"} {
+		for _, name := range []string{"table1", "fig11", "fig12", "fig13", "hedge", "filtered"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -36,6 +36,10 @@ func run() error {
 		queryIdx   = flag.Int("query-product", 42, "index of the product to photograph")
 		k          = flag.Int("k", 6, "results wanted")
 		nprobe     = flag.Int("nprobe", 0, "inverted lists probed per searcher (0 = server default)")
+		scoped     = flag.Bool("scoped", false, "restrict results to the query product's own category")
+		minPrice   = flag.Float64("min-price", 0, "only admit results priced at least this (yuan; 0 = unbounded)")
+		maxPrice   = flag.Float64("max-price", 0, "only admit results priced at most this (yuan; 0 = unbounded)")
+		minSales   = flag.Uint64("min-sales", 0, "only admit results with at least this sales volume (0 = unbounded)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "query timeout")
 	)
 	flag.Parse()
@@ -60,11 +64,18 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	t0 := time.Now()
+	scope := int32(core.AllCategories)
+	if *scoped {
+		scope = int32(target.Category)
+	}
 	resp, err := c.Query(ctx, &core.QueryRequest{
 		ImageBlob:     cat.QueryImage(target).Encode(),
 		TopK:          *k,
 		NProbe:        *nprobe,
-		CategoryScope: core.AllCategories,
+		CategoryScope: scope,
+		MinPriceCents: uint32(*minPrice * 100),
+		MaxPriceCents: uint32(*maxPrice * 100),
+		MinSales:      uint32(*minSales),
 	})
 	if err != nil {
 		return fmt.Errorf("query: %w", err)

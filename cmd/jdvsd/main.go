@@ -57,6 +57,8 @@ func run() error {
 		loadIdle  = flag.Duration("load-idle-timeout", 0, "searcher: abort an inbound snapshot stream idle longer than this (0 = default)")
 		pqM       = flag.Int("pq-subvectors", 0, "searcher: product-quantization code bytes per image (must divide -dim; 0 = exact float scan, -1 = dimension-derived default)")
 		pqRerank  = flag.Int("pq-rerank", 0, "searcher: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
+		filterNP  = flag.Int("filter-max-nprobe", 0, "searcher: cap on the adaptive probe widening for filtered queries (0 = 8× the base width, clamped to -nlists; set to -nlists to let very selective filters scan every list)")
+		filterRK  = flag.Int("filter-max-rerank", 0, "searcher: cap on the matching ADC re-rank widening for filtered queries (0 = 4× the unfiltered depth)")
 		pqSample  = flag.Int("pq-train-sample", 10000, "searcher: stored rows used to train PQ when the snapshot carries no codes")
 		featStore = flag.String("feature-store", "", "searcher: where raw feature rows live: ram (default, dim×4 heap bytes per image) or mmap (rows tiered onto a page-cache-served spill file — RAM holds only the PQ codes, so one shard fits several× more images)")
 		spillDir  = flag.String("spill-dir", "", "searcher: directory for feature-store spill files with -feature-store mmap (default: OS temp dir; files are unlinked at creation)")
@@ -78,6 +80,7 @@ func run() error {
 		shard, err := index.New(index.Config{
 			Dim: *dim, NLists: *nlists, ListInitialCap: *listCap, DefaultNProbe: *nprobe,
 			PQSubvectors: *pqM, RerankK: *pqRerank,
+			FilterMaxNProbe: *filterNP, FilterMaxRerankK: *filterRK,
 			FeatureStore: *featStore, SpillDir: *spillDir,
 		})
 		if err != nil {

@@ -16,6 +16,7 @@
 package bitmapx
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -177,11 +178,94 @@ func (b *Bitmap) Restore(words []uint64) {
 	b.setCount.Store(count)
 }
 
-func popcount(x uint64) int {
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// AppendWords appends the bitmap's current words to dst and returns the
+// extended slice — Snapshot into a caller-reused buffer, for the per-query
+// admission path where a fresh allocation per query would defeat the
+// scratch pooling. Reads are lock-free; the same per-word (not cross-word)
+// consistency as Snapshot applies. Typical use: w = b.AppendWords(w[:0]).
+func (b *Bitmap) AppendWords(dst Words) Words {
+	chunks := b.chunks()
+	need := len(dst) + len(chunks)*wordsPer
+	if cap(dst) < need {
+		grown := make(Words, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, c := range chunks {
+		for wi := range c.words {
+			dst = append(dst, c.words[wi].Load())
+		}
+	}
+	return dst
+}
+
+// Words is a flat, single-owner bitmap: the materialised form the search
+// path intersects per query (validity ∧ category ∧ attribute predicates)
+// before walking inverted lists. Unlike Bitmap it is not safe for
+// concurrent mutation — it is scratch, built and consumed by one query.
+// Bits beyond len(w)*64 read as 0.
+type Words []uint64
+
+// Get reports whether bit id is set.
+func (w Words) Get(id uint32) bool {
+	wi := int(id / 64)
+	if wi >= len(w) {
+		return false
+	}
+	return w[wi]&(uint64(1)<<(id%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (w Words) Count() int {
 	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+	for _, x := range w {
+		n += bits.OnesCount64(x)
 	}
 	return n
+}
+
+// Range calls fn for each set bit in ascending order, skipping zero words
+// without inspecting individual bits, until fn returns false. On sparse
+// bitmaps (a selective filter over a large shard) this touches one word
+// per 64 candidates instead of one branch per candidate.
+func (w Words) Range(fn func(id uint32) bool) {
+	for wi, x := range w {
+		for x != 0 {
+			bit := uint32(bits.TrailingZeros64(x))
+			if !fn(uint32(wi)*64 + bit) {
+				return
+			}
+			x &= x - 1
+		}
+	}
+}
+
+// And stores a ∧ b into dst (reusing its capacity) and returns it. The
+// result covers min(len(a), len(b)) words — bits beyond either operand are
+// absent (0) in the intersection, matching the admission semantics where a
+// bitmap that was never grown to an id simply does not admit it. dst may
+// alias a or b.
+func And(dst, a, b Words) Words {
+	n := min(len(a), len(b))
+	if cap(dst) < n {
+		dst = make(Words, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] & b[i]
+	}
+	return dst
+}
+
+// AndCount returns the number of set bits in a ∧ b without materialising
+// the intersection — the selectivity estimate the scan widens nprobe from.
+func AndCount(a, b Words) int {
+	n := min(len(a), len(b))
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
 }

@@ -192,6 +192,118 @@ func TestConcurrentSameBit(t *testing.T) {
 	}
 }
 
+// TestWordsMatchesModel: Get/Count/Range over a materialised Words
+// snapshot agree with a map model, across chunk boundaries.
+func TestWordsMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := New(0)
+	model := make(map[uint32]bool)
+	for i := 0; i < 4000; i++ {
+		id := uint32(rng.Intn(3 << 16)) // spans multiple 1<<16-bit chunks
+		b.Set(id)
+		model[id] = true
+	}
+	w := b.AppendWords(nil)
+	if got := w.Count(); got != len(model) {
+		t.Fatalf("Words.Count = %d, want %d", got, len(model))
+	}
+	for id := range model {
+		if !w.Get(id) {
+			t.Fatalf("Words.Get(%d) = false for a set bit", id)
+		}
+	}
+	if w.Get(uint32(len(w))*64 + 5) {
+		t.Fatal("Words.Get beyond length returned true")
+	}
+	var prev int64 = -1
+	seen := 0
+	w.Range(func(id uint32) bool {
+		if int64(id) <= prev {
+			t.Fatalf("Range out of order: %d after %d", id, prev)
+		}
+		prev = int64(id)
+		if !model[id] {
+			t.Fatalf("Range visited unset bit %d", id)
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("Range visited %d bits, want %d", seen, len(model))
+	}
+	// Early termination.
+	calls := 0
+	w.Range(func(uint32) bool { calls++; return calls < 3 })
+	if calls != 3 {
+		t.Fatalf("Range ignored early stop: %d calls", calls)
+	}
+}
+
+// TestAppendWordsReuse: AppendWords into a recycled buffer must equal a
+// fresh Snapshot.
+func TestAppendWordsReuse(t *testing.T) {
+	b := New(0)
+	for _, id := range []uint32{0, 63, 64, 100000, 1 << 17} {
+		b.Set(id)
+	}
+	scratch := make(Words, 7) // non-empty garbage to be truncated away
+	got := b.AppendWords(scratch[:0])
+	want := b.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("AppendWords produced %d words, Snapshot %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d: AppendWords %x, Snapshot %x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAndMatchesModel: And/AndCount agree with per-bit intersection,
+// including operands of different lengths (missing words read as 0).
+func TestAndMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := New(0)
+	c := New(0)
+	inA := make(map[uint32]bool)
+	inBoth := make(map[uint32]bool)
+	for i := 0; i < 3000; i++ {
+		id := uint32(rng.Intn(2 << 16))
+		a.Set(id)
+		inA[id] = true
+	}
+	for i := 0; i < 3000; i++ {
+		// Second bitmap deliberately shorter: ids only in the first chunk.
+		id := uint32(rng.Intn(1 << 16))
+		c.Set(id)
+		if inA[id] {
+			inBoth[id] = true
+		}
+	}
+	wa := a.AppendWords(nil)
+	wc := c.AppendWords(nil)
+	got := And(nil, wa, wc)
+	if len(got) != min(len(wa), len(wc)) {
+		t.Fatalf("And produced %d words, want %d", len(got), min(len(wa), len(wc)))
+	}
+	if got.Count() != len(inBoth) {
+		t.Fatalf("And count = %d, want %d", got.Count(), len(inBoth))
+	}
+	for id := range inBoth {
+		if !got.Get(id) {
+			t.Fatalf("intersection lost bit %d", id)
+		}
+	}
+	if n := AndCount(wa, wc); n != len(inBoth) {
+		t.Fatalf("AndCount = %d, want %d", n, len(inBoth))
+	}
+	// Aliased destination.
+	aliased := And(wa, wa, wc)
+	if aliased.Count() != len(inBoth) {
+		t.Fatalf("aliased And count = %d, want %d", aliased.Count(), len(inBoth))
+	}
+}
+
 func TestConcurrentGrowAndRead(t *testing.T) {
 	b := New(0)
 	stop := make(chan struct{})

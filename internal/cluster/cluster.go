@@ -75,6 +75,14 @@ type Config struct {
 	// 10×TopK).
 	PQSubvectors int
 	RerankK      int
+	// FilterMaxNProbe / FilterMaxRerankK cap the adaptive widening the
+	// searchers apply to filtered queries (category scope or price/sales
+	// predicates): a selective filter raises nprobe — and the ADC re-rank
+	// depth by the same factor — so the page still fills
+	// (index.Config.FilterMaxNProbe / FilterMaxRerankK; 0 derives 8× the
+	// base width resp. 4× the unfiltered depth).
+	FilterMaxNProbe  int
+	FilterMaxRerankK int
 	// FeatureStore selects where each searcher shard keeps its raw
 	// feature rows (index.Config.FeatureStore): "ram" (default) holds
 	// dim×4 bytes per image on the heap; "mmap" tiers the rows onto an
@@ -219,15 +227,17 @@ func Start(cfg Config) (*Cluster, error) {
 	full, err := indexer.NewFull(indexer.FullConfig{
 		Partitions: cfg.Partitions,
 		Shard: index.Config{
-			Dim:            cfg.Dim,
-			NLists:         cfg.NLists,
-			ListInitialCap: cfg.ListInitialCap,
-			DefaultNProbe:  cfg.DefaultNProbe,
-			SearchWorkers:  cfg.SearchWorkers,
-			PQSubvectors:   cfg.PQSubvectors,
-			RerankK:        cfg.RerankK,
-			FeatureStore:   cfg.FeatureStore,
-			SpillDir:       cfg.SpillDir,
+			Dim:              cfg.Dim,
+			NLists:           cfg.NLists,
+			ListInitialCap:   cfg.ListInitialCap,
+			DefaultNProbe:    cfg.DefaultNProbe,
+			SearchWorkers:    cfg.SearchWorkers,
+			PQSubvectors:     cfg.PQSubvectors,
+			RerankK:          cfg.RerankK,
+			FilterMaxNProbe:  cfg.FilterMaxNProbe,
+			FilterMaxRerankK: cfg.FilterMaxRerankK,
+			FeatureStore:     cfg.FeatureStore,
+			SpillDir:         cfg.SpillDir,
 		},
 		Seed: cfg.FeatureSeed,
 	}, c.resolver)
@@ -512,15 +522,17 @@ func (c *Cluster) Reindex() error {
 	full, err := indexer.NewFull(indexer.FullConfig{
 		Partitions: c.cfg.Partitions,
 		Shard: index.Config{
-			Dim:            c.cfg.Dim,
-			NLists:         c.cfg.NLists,
-			ListInitialCap: c.cfg.ListInitialCap,
-			DefaultNProbe:  c.cfg.DefaultNProbe,
-			SearchWorkers:  c.cfg.SearchWorkers,
-			PQSubvectors:   c.cfg.PQSubvectors,
-			RerankK:        c.cfg.RerankK,
-			FeatureStore:   c.cfg.FeatureStore,
-			SpillDir:       c.cfg.SpillDir,
+			Dim:              c.cfg.Dim,
+			NLists:           c.cfg.NLists,
+			ListInitialCap:   c.cfg.ListInitialCap,
+			DefaultNProbe:    c.cfg.DefaultNProbe,
+			SearchWorkers:    c.cfg.SearchWorkers,
+			PQSubvectors:     c.cfg.PQSubvectors,
+			RerankK:          c.cfg.RerankK,
+			FilterMaxNProbe:  c.cfg.FilterMaxNProbe,
+			FilterMaxRerankK: c.cfg.FilterMaxRerankK,
+			FeatureStore:     c.cfg.FeatureStore,
+			SpillDir:         c.cfg.SpillDir,
 		},
 		Seed: c.cfg.FeatureSeed,
 	}, c.resolver)

@@ -81,6 +81,48 @@ type SearchRequest struct {
 	NProbe int
 	// Category restricts results to one product category when >= 0.
 	Category int32
+	// MinPriceCents / MaxPriceCents bound the hit's price, inclusive; 0
+	// means unbounded on that side. MinSales is the minimum sales count a
+	// hit must carry. Searchers push these predicates down into the shard
+	// scan (bitmap admission) rather than post-filtering the top-k, so
+	// selective filters still return a full result page.
+	MinPriceCents uint32
+	MaxPriceCents uint32
+	MinSales      uint32
+}
+
+// HasPredicates reports whether any attribute predicate (price band,
+// minimum sales) is set. The category scope is not counted here: shards
+// maintain per-category bitmaps and handle it separately from the
+// forward-materialised predicate bitmaps.
+func (r *SearchRequest) HasPredicates() bool {
+	return r.MinPriceCents > 0 || r.MaxPriceCents > 0 || r.MinSales > 0
+}
+
+// MatchesAttrs reports whether an image with the given sales and price
+// passes the request's attribute predicates — the single definition shared
+// by the shard scan's bitmap build / tail fallback and the blender's
+// post-merge re-check.
+func (r *SearchRequest) MatchesAttrs(sales, price uint32) bool {
+	if sales < r.MinSales {
+		return false
+	}
+	if price < r.MinPriceCents {
+		return false
+	}
+	if r.MaxPriceCents > 0 && price > r.MaxPriceCents {
+		return false
+	}
+	return true
+}
+
+// AdmitsHit reports whether a hit passes both the category scope and the
+// attribute predicates, as carried in the hit's own attribute copy.
+func (r *SearchRequest) AdmitsHit(h *Hit) bool {
+	if r.Category >= 0 && int32(h.Category) != r.Category {
+		return false
+	}
+	return r.MatchesAttrs(h.Sales, h.PriceCents)
 }
 
 // SearchResponse carries a partial (searcher/broker) or final (blender)
@@ -137,18 +179,27 @@ func DecodeFeature(b []byte) ([]float32, []byte, error) {
 	return f, b[4*n:], nil
 }
 
-// EncodeSearchRequest serialises a SearchRequest.
+// EncodeSearchRequest serialises a SearchRequest. The predicate fields
+// ride as a 12-byte tail extension under the same version byte: decoders
+// up to PR 6 read only the first 12 tail bytes and ignore the rest, so a
+// predicate-bearing request still parses on an older searcher (which
+// simply does not filter — the blender's post-merge re-check covers it),
+// and an older request decodes here with zeroed (unbounded) predicates.
 func EncodeSearchRequest(r *SearchRequest) []byte {
-	dst := make([]byte, 0, 16+4*len(r.Feature))
+	dst := make([]byte, 0, 29+4*len(r.Feature))
 	dst = append(dst, reqCodecVersion)
 	dst = AppendFeature(dst, r.Feature)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.TopK))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.NProbe))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Category))
+	dst = binary.LittleEndian.AppendUint32(dst, r.MinPriceCents)
+	dst = binary.LittleEndian.AppendUint32(dst, r.MaxPriceCents)
+	dst = binary.LittleEndian.AppendUint32(dst, r.MinSales)
 	return dst
 }
 
-// DecodeSearchRequest deserialises a SearchRequest.
+// DecodeSearchRequest deserialises a SearchRequest; a legacy 12-byte tail
+// (no predicate extension) decodes with unbounded predicates.
 func DecodeSearchRequest(b []byte) (*SearchRequest, error) {
 	if len(b) < 1 || b[0] != reqCodecVersion {
 		return nil, fmt.Errorf("%w: bad request version", ErrCodec)
@@ -160,12 +211,18 @@ func DecodeSearchRequest(b []byte) (*SearchRequest, error) {
 	if len(rest) < 12 {
 		return nil, fmt.Errorf("%w: short request tail", ErrCodec)
 	}
-	return &SearchRequest{
+	r := &SearchRequest{
 		Feature:  f,
 		TopK:     int(binary.LittleEndian.Uint32(rest[0:4])),
 		NProbe:   int(binary.LittleEndian.Uint32(rest[4:8])),
 		Category: int32(binary.LittleEndian.Uint32(rest[8:12])),
-	}, nil
+	}
+	if len(rest) >= 24 {
+		r.MinPriceCents = binary.LittleEndian.Uint32(rest[12:16])
+		r.MaxPriceCents = binary.LittleEndian.Uint32(rest[16:20])
+		r.MinSales = binary.LittleEndian.Uint32(rest[20:24])
+	}
+	return r, nil
 }
 
 // EncodeSearchResponse serialises a SearchResponse.

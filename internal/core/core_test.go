@@ -74,11 +74,28 @@ func TestFeatureCodecCorruption(t *testing.T) {
 
 func sampleRequest() *SearchRequest {
 	return &SearchRequest{
-		Feature:  []float32{0.1, -0.5, 0.25, 1},
-		TopK:     15,
-		NProbe:   4,
-		Category: -1,
+		Feature:       []float32{0.1, -0.5, 0.25, 1},
+		TopK:          15,
+		NProbe:        4,
+		Category:      -1,
+		MinPriceCents: 500,
+		MaxPriceCents: 9900,
+		MinSales:      3,
 	}
+}
+
+// encodeSearchRequestLegacy emits the pre-predicate (PR ≤ 6) layout:
+// identical version byte, 12-byte tail ending at Category.
+func encodeSearchRequestLegacy(r *SearchRequest) []byte {
+	dst := []byte{reqCodecVersion}
+	dst = AppendFeature(dst, r.Feature)
+	dst = appendU32(dst, uint32(r.TopK))
+	dst = appendU32(dst, uint32(r.NProbe))
+	return appendU32(dst, uint32(r.Category))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 func TestSearchRequestRoundtrip(t *testing.T) {
@@ -99,6 +116,39 @@ func TestSearchRequestRoundtrip(t *testing.T) {
 	if got.Category != -1 {
 		t.Fatalf("Category = %d, want -1", got.Category)
 	}
+	// Predicates survive the transit.
+	if got.MinPriceCents != 500 || got.MaxPriceCents != 9900 || got.MinSales != 3 {
+		t.Fatalf("predicates corrupted: %+v", got)
+	}
+}
+
+// TestSearchRequestLegacyDecode: a request encoded by a pre-predicate
+// binary must decode with unbounded predicates, and a predicate-bearing
+// encoding truncated to the legacy tail (what an old decoder effectively
+// reads) must still parse the base fields — the two directions of the
+// version-1 tail-extension compatibility scheme.
+func TestSearchRequestLegacyDecode(t *testing.T) {
+	req := sampleRequest()
+	got, err := DecodeSearchRequest(encodeSearchRequestLegacy(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TopK != req.TopK || got.NProbe != req.NProbe || got.Category != req.Category {
+		t.Fatalf("legacy decode mangled base fields: %+v", got)
+	}
+	if got.HasPredicates() {
+		t.Fatalf("legacy request decoded with predicates: %+v", got)
+	}
+	// New encoding cut at the legacy tail boundary (12 bytes after the
+	// feature) — the prefix an old reader consumes — still parses.
+	enc := EncodeSearchRequest(req)
+	got, err = DecodeSearchRequest(enc[:len(enc)-12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TopK != req.TopK || got.Category != req.Category || got.HasPredicates() {
+		t.Fatalf("legacy-prefix decode mangled fields: %+v", got)
+	}
 }
 
 func TestSearchRequestCorruption(t *testing.T) {
@@ -106,12 +156,46 @@ func TestSearchRequestCorruption(t *testing.T) {
 	if _, err := DecodeSearchRequest(nil); err == nil {
 		t.Error("nil accepted")
 	}
-	if _, err := DecodeSearchRequest(enc[:len(enc)-3]); err == nil {
+	// Cutting into the mandatory 12-byte base tail must fail (the 12-byte
+	// predicate extension itself is optional, so cut past it too).
+	if _, err := DecodeSearchRequest(enc[:len(enc)-15]); err == nil {
 		t.Error("truncated request accepted")
 	}
 	bad := append([]byte{42}, enc[1:]...)
 	if _, err := DecodeSearchRequest(bad); err == nil {
 		t.Error("bad version accepted")
+	}
+}
+
+func TestSearchRequestPredicateHelpers(t *testing.T) {
+	r := &SearchRequest{Category: -1}
+	if r.HasPredicates() {
+		t.Fatal("zero request claims predicates")
+	}
+	if !r.MatchesAttrs(0, 0) || !r.AdmitsHit(&Hit{Category: 9}) {
+		t.Fatal("unbounded request rejected an item")
+	}
+	r = &SearchRequest{Category: 2, MinPriceCents: 100, MaxPriceCents: 200, MinSales: 5}
+	cases := []struct {
+		sales, price uint32
+		want         bool
+	}{
+		{5, 100, true},
+		{5, 200, true},
+		{4, 150, false}, // sales below minimum
+		{9, 99, false},  // price below band
+		{9, 201, false}, // price above band
+	}
+	for _, c := range cases {
+		if got := r.MatchesAttrs(c.sales, c.price); got != c.want {
+			t.Errorf("MatchesAttrs(%d, %d) = %v, want %v", c.sales, c.price, got, c.want)
+		}
+	}
+	if r.AdmitsHit(&Hit{Category: 3, Sales: 9, PriceCents: 150}) {
+		t.Error("AdmitsHit ignored the category scope")
+	}
+	if !r.AdmitsHit(&Hit{Category: 2, Sales: 9, PriceCents: 150}) {
+		t.Error("AdmitsHit rejected a conforming hit")
 	}
 }
 
@@ -213,6 +297,54 @@ func TestQueryRequestRoundtrip(t *testing.T) {
 	}
 	if string(got.ImageBlob) != string(q.ImageBlob) {
 		t.Fatal("blob corrupted")
+	}
+}
+
+// TestQueryRequestPredicatesRoundtrip: the v2 fields survive the codec.
+func TestQueryRequestPredicatesRoundtrip(t *testing.T) {
+	q := &QueryRequest{
+		ImageBlob:     []byte("blob"),
+		TopK:          4,
+		CategoryScope: 7,
+		MinPriceCents: 1000,
+		MaxPriceCents: 5000,
+		MinSales:      12,
+	}
+	got, err := DecodeQueryRequest(EncodeQueryRequest(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinPriceCents != 1000 || got.MaxPriceCents != 5000 || got.MinSales != 12 {
+		t.Fatalf("predicates corrupted: %+v", got)
+	}
+	if got.CategoryScope != 7 || string(got.ImageBlob) != "blob" {
+		t.Fatalf("base fields corrupted: %+v", got)
+	}
+}
+
+// TestQueryRequestV1Decode: a legacy v1 query payload (hand-built to the
+// old layout) still decodes, with unbounded predicates.
+func TestQueryRequestV1Decode(t *testing.T) {
+	blob := []byte{9, 8, 7}
+	enc := []byte{queryCodecVersionV1, 1} // version, flags (AutoCategory)
+	enc = appendU32(enc, 25)              // TopK
+	enc = appendU32(enc, 6)               // NProbe
+	scope := AllCategories
+	enc = appendU32(enc, uint32(scope))
+	enc = appendU32(enc, uint32(len(blob)))
+	enc = append(enc, blob...)
+	q, err := DecodeQueryRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TopK != 25 || q.NProbe != 6 || q.CategoryScope != AllCategories || !q.AutoCategory {
+		t.Fatalf("v1 decode mangled base fields: %+v", q)
+	}
+	if q.MinPriceCents != 0 || q.MaxPriceCents != 0 || q.MinSales != 0 {
+		t.Fatalf("v1 decode invented predicates: %+v", q)
+	}
+	if string(q.ImageBlob) != string(blob) {
+		t.Fatal("v1 blob corrupted")
 	}
 }
 

@@ -29,16 +29,31 @@ type QueryRequest struct {
 	// AutoCategory asks the blender to detect the item and identify its
 	// category (§2.4), then scope the search to it.
 	AutoCategory bool
+	// MinPriceCents / MaxPriceCents bound result prices, inclusive; 0
+	// means unbounded on that side. MinSales is the minimum sales count.
+	// Carried into the fanned-out SearchRequest and pushed down into the
+	// shard scans ("find similar but cheaper", in-stock-only).
+	MinPriceCents uint32
+	MaxPriceCents uint32
+	MinSales      uint32
 }
 
-const queryCodecVersion = 1
+// Query codec versions: v1 has no predicate fields (the blob length
+// follows CategoryScope directly); v2 inserts the three predicate words
+// before the blob length. Unlike the search-request codec, the query
+// decode requires an exact blob length, so the extension needs a version
+// bump — both layouts are accepted on decode.
+const (
+	queryCodecVersionV1 = 1
+	queryCodecVersion   = 2
+)
 
 // maxQueryBlob bounds the decoded query image as a corruption guard.
 const maxQueryBlob = 32 << 20
 
-// EncodeQueryRequest serialises a QueryRequest.
+// EncodeQueryRequest serialises a QueryRequest (v2 layout).
 func EncodeQueryRequest(q *QueryRequest) []byte {
-	dst := make([]byte, 0, 18+len(q.ImageBlob))
+	dst := make([]byte, 0, 30+len(q.ImageBlob))
 	dst = append(dst, queryCodecVersion)
 	var flags byte
 	if q.AutoCategory {
@@ -48,14 +63,19 @@ func EncodeQueryRequest(q *QueryRequest) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.TopK))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.NProbe))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.CategoryScope))
+	dst = binary.LittleEndian.AppendUint32(dst, q.MinPriceCents)
+	dst = binary.LittleEndian.AppendUint32(dst, q.MaxPriceCents)
+	dst = binary.LittleEndian.AppendUint32(dst, q.MinSales)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(q.ImageBlob)))
 	dst = append(dst, q.ImageBlob...)
 	return dst
 }
 
-// DecodeQueryRequest deserialises a QueryRequest.
+// DecodeQueryRequest deserialises a QueryRequest. Both the current (v2,
+// predicate-bearing) and the legacy v1 layout are accepted; v1 queries
+// decode with unbounded predicates.
 func DecodeQueryRequest(b []byte) (*QueryRequest, error) {
-	if len(b) < 18 || b[0] != queryCodecVersion {
+	if len(b) < 18 || (b[0] != queryCodecVersion && b[0] != queryCodecVersionV1) {
 		return nil, fmt.Errorf("%w: bad query header", ErrCodec)
 	}
 	q := &QueryRequest{
@@ -64,14 +84,24 @@ func DecodeQueryRequest(b []byte) (*QueryRequest, error) {
 		NProbe:        int(binary.LittleEndian.Uint32(b[6:10])),
 		CategoryScope: int32(binary.LittleEndian.Uint32(b[10:14])),
 	}
-	n := int(binary.LittleEndian.Uint32(b[14:18]))
+	rest := b[14:]
+	if b[0] == queryCodecVersion {
+		if len(b) < 30 {
+			return nil, fmt.Errorf("%w: short query header", ErrCodec)
+		}
+		q.MinPriceCents = binary.LittleEndian.Uint32(b[14:18])
+		q.MaxPriceCents = binary.LittleEndian.Uint32(b[18:22])
+		q.MinSales = binary.LittleEndian.Uint32(b[22:26])
+		rest = b[26:]
+	}
+	n := int(binary.LittleEndian.Uint32(rest[0:4]))
 	if n > maxQueryBlob {
 		return nil, fmt.Errorf("%w: query blob %d bytes", ErrCodec, n)
 	}
-	if len(b[18:]) != n {
+	if len(rest[4:]) != n {
 		return nil, fmt.Errorf("%w: query blob length mismatch", ErrCodec)
 	}
 	q.ImageBlob = make([]byte, n)
-	copy(q.ImageBlob, b[18:])
+	copy(q.ImageBlob, rest[4:])
 	return q, nil
 }

@@ -161,6 +161,42 @@ func TestRunFig13SmallScale(t *testing.T) {
 	}
 }
 
+func TestRunFilteredSmallScale(t *testing.T) {
+	res, err := RunFiltered(FilteredConfig{
+		Selectivity: 0.1, // 10 categories over a tiny corpus
+		Threads:     2,
+		Duration:    400 * time.Millisecond,
+		Partitions:  2,
+		Brokers:     1,
+		Blenders:    1,
+		Products:    300,
+		Seed:        12,
+	})
+	if err != nil {
+		t.Fatalf("RunFiltered: %v", err)
+	}
+	if res.Categories != 10 {
+		t.Fatalf("derived %d categories, want 10", res.Categories)
+	}
+	if res.Unscoped.QPS <= 0 || res.Scoped.QPS <= 0 {
+		t.Fatalf("no load measured: %+v", res)
+	}
+	if res.Unscoped.Errors != 0 || res.Scoped.Errors != 0 {
+		t.Fatalf("query errors: unscoped %d, scoped %d", res.Unscoped.Errors, res.Scoped.Errors)
+	}
+	// 300 products × ≥1 image over 10 categories leaves ≥ 10 images per
+	// category with overwhelming probability; widening must fill the page.
+	if res.Scoped.FullPageRate < 0.99 {
+		t.Fatalf("scoped full-page rate %.3f, want ≈ 1", res.Scoped.FullPageRate)
+	}
+	out := res.Render()
+	for _, want := range []string{"Filtered search", "unscoped", "scoped", "full-page"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
 func TestRunHedgeSmallScale(t *testing.T) {
 	res, err := RunHedge(HedgeConfig{
 		Duration:     800 * time.Millisecond,

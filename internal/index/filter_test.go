@@ -1,0 +1,485 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"jdvs/internal/core"
+	"jdvs/internal/vecmath"
+)
+
+// filterAttrs gives image i deterministic skewed attributes: category 1
+// covers ~0.1% of the corpus, category 2 ~1%, category 3 ~10%, category 4
+// the rest; prices cycle through [100, 9999) cents and sales through
+// [0, 100). The skew lets one corpus exercise every selectivity band the
+// pushdown is specified for.
+func filterAttrs(i, n int) core.Attrs {
+	cat := uint16(4)
+	switch {
+	case i < n/1000:
+		cat = 1
+	case i < n/1000+n/100:
+		cat = 2
+	case i < n/1000+n/100+n/10:
+		cat = 3
+	}
+	return core.Attrs{
+		ProductID:  uint64(i + 1),
+		URL:        fmt.Sprintf("jfs://filter/%d.jpg", i),
+		Category:   cat,
+		Sales:      uint32(i % 100),
+		PriceCents: uint32(100 + (i*37)%9900),
+	}
+}
+
+// buildFilterShard builds one shard over a clustered corpus with
+// filterAttrs attributes; pqM > 0 trains a product quantizer, cfgMut (may
+// be nil) tweaks the config before construction.
+func buildFilterShard(t testing.TB, n, dim, nlists, pqM int, cfgMut func(*Config)) (*Shard, [][]float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(19))
+	feats := clusteredFeatures(rng, n, dim, 24, 0.25)
+	train := make([]float32, 0, min(n, 2000)*dim)
+	for i := 0; i < min(n, 2000); i++ {
+		train = append(train, feats[i]...)
+	}
+	cfg := Config{Dim: dim, NLists: nlists, DefaultNProbe: 8, SearchWorkers: 1, PQSubvectors: pqM}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(train, 5); err != nil {
+		t.Fatal(err)
+	}
+	if pqM > 0 {
+		if err := s.TrainPQ(train, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range feats {
+		if _, _, err := s.Insert(filterAttrs(i, n), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, feats
+}
+
+// filterOracle is the post-filter reference: exact L2 over every valid
+// image, the filter applied afterwards, then top-k — the semantics the
+// pushdown must reproduce.
+func filterOracle(s *Shard, feats [][]float32, req *core.SearchRequest) []uint32 {
+	type cand struct {
+		id uint32
+		d  float32
+	}
+	var cands []cand
+	for id := 0; id < len(feats); id++ {
+		if !s.Valid(uint32(id)) {
+			continue
+		}
+		a, ok := s.Attrs(uint32(id))
+		if !ok {
+			continue
+		}
+		h := core.Hit{Sales: a.Sales, PriceCents: a.PriceCents, Category: a.Category}
+		if !req.AdmitsHit(&h) {
+			continue
+		}
+		cands = append(cands, cand{uint32(id), vecmath.L2Squared(req.Feature, feats[id])})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	k := req.TopK
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	ids := make([]uint32, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+	}
+	return ids
+}
+
+func filterQuery(rng *rand.Rand, feats [][]float32, dim int) []float32 {
+	base := feats[rng.Intn(len(feats))]
+	q := make([]float32, dim)
+	for d := range q {
+		q[d] = base[d] + float32(rng.NormFloat64()*0.05)
+	}
+	return q
+}
+
+// TestFilteredExactMatchesOracle: on the exact float path with every list
+// probed, the pushed-down filter must return exactly what post-filtering a
+// brute-force scan returns — across the selectivity sweep (0.1%, 1%, 10%,
+// 100%), attribute predicates, and their combination. The 0.1% category
+// holds fewer images than k, so it also pins the fewer-than-k contract:
+// all matches come back.
+func TestFilteredExactMatchesOracle(t *testing.T) {
+	const n, dim, nlists = 4000, 32, 16
+	s, feats := buildFilterShard(t, n, dim, nlists, 0, nil)
+	cases := []struct {
+		name string
+		req  core.SearchRequest
+	}{
+		{"category=0.1%", core.SearchRequest{Category: 1}},
+		{"category=1%", core.SearchRequest{Category: 2}},
+		{"category=10%", core.SearchRequest{Category: 3}},
+		{"category=100%", core.SearchRequest{Category: -1}},
+		{"priceband", core.SearchRequest{Category: -1, MinPriceCents: 2000, MaxPriceCents: 5000}},
+		{"minsales", core.SearchRequest{Category: -1, MinSales: 50}},
+		{"combined", core.SearchRequest{Category: 3, MinPriceCents: 1000, MaxPriceCents: 8000, MinSales: 20}},
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for qi := 0; qi < 10; qi++ {
+				req := tc.req
+				req.Feature = filterQuery(rng, feats, dim)
+				req.TopK = 10
+				req.NProbe = nlists // full probe: the scan sees every admitted image
+				resp, err := s.Search(&req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := filterOracle(s, feats, &req)
+				if len(resp.Hits) != len(want) {
+					t.Fatalf("query %d: %d hits, oracle %d", qi, len(resp.Hits), len(want))
+				}
+				wantSet := make(map[uint32]bool, len(want))
+				for _, id := range want {
+					wantSet[id] = true
+				}
+				for _, h := range resp.Hits {
+					if !wantSet[h.Image.Local] {
+						t.Fatalf("query %d: hit %d not in oracle set", qi, h.Image.Local)
+					}
+					if !req.AdmitsHit(&h) {
+						t.Fatalf("query %d: hit %d violates the filter", qi, h.Image.Local)
+					}
+				}
+			}
+		})
+	}
+	// The 0.1% category holds n/1000 images — fewer than k.
+	if got := n / 1000; got >= 10 {
+		t.Fatalf("corpus too large for the fewer-than-k case: category 1 has %d images", got)
+	}
+}
+
+// TestFilteredEmptyCategory: a category no committed row has ever carried
+// must return an empty page without probing a single list — the admission
+// bitmap prices it at zero matches before probe selection. Categories
+// outside the uint16 range are equally unsatisfiable.
+func TestFilteredEmptyCategory(t *testing.T) {
+	const n, dim, nlists = 1000, 16, 8
+	s, feats := buildFilterShard(t, n, dim, nlists, 0, nil)
+	for _, cat := range []int32{9, 77, 1 << 20} {
+		req := &core.SearchRequest{Feature: feats[0], TopK: 10, NProbe: nlists, Category: cat}
+		resp, err := s.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Hits) != 0 {
+			t.Fatalf("category %d: %d hits, want 0", cat, len(resp.Hits))
+		}
+		if resp.Probed != 0 || resp.Scanned != 0 {
+			t.Fatalf("category %d: probed %d scanned %d, want 0/0", cat, resp.Probed, resp.Scanned)
+		}
+	}
+}
+
+// TestFilteredRecallGuardrail is the accuracy gate on the filtered ADC
+// path: at 1% selectivity, recall@10 against the exact post-filter oracle
+// must stay at least 0.95 and every query must fill its page. Adaptive
+// widening is what makes this pass at the default probe width — 1% of the
+// corpus spread over all lists leaves too few admitted candidates in 8
+// lists.
+func TestFilteredRecallGuardrail(t *testing.T) {
+	const n, dim, queries = 6000, 64, 60
+	s, feats := buildFilterShard(t, n, dim, 32, 16, nil)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(77))
+	var hit, want int
+	for qi := 0; qi < queries; qi++ {
+		req := &core.SearchRequest{Feature: filterQuery(rng, feats, dim), TopK: 10, NProbe: 8, Category: 2}
+		resp, err := s.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Hits) != 10 {
+			t.Fatalf("query %d: %d hits, want a full page of 10", qi, len(resp.Hits))
+		}
+		truth := filterOracle(s, feats, req)
+		truthSet := make(map[uint32]bool, len(truth))
+		for _, id := range truth {
+			truthSet[id] = true
+		}
+		want += len(truth)
+		for _, h := range resp.Hits {
+			if truthSet[h.Image.Local] {
+				hit++
+			}
+		}
+	}
+	recall := float64(hit) / float64(want)
+	t.Logf("filtered ADC recall@10 at 1%% selectivity over %d queries: %.4f", queries, recall)
+	if recall < 0.95 {
+		t.Fatalf("filtered recall@10 = %.4f, want >= 0.95", recall)
+	}
+}
+
+// TestFilteredProbeWidening: a selective filter must widen the probe set
+// (visible via Probed) up to FilterMaxNProbe, while unfiltered queries
+// keep the configured width. At maximum selectivity the widening reaches
+// every list, so all matches — fewer than k — come back.
+func TestFilteredProbeWidening(t *testing.T) {
+	const n, dim, nlists = 4000, 32, 32
+	s, feats := buildFilterShard(t, n, dim, nlists, 0, func(c *Config) {
+		c.DefaultNProbe = 2
+		c.FilterMaxNProbe = nlists
+	})
+	rng := rand.New(rand.NewSource(5))
+	q := filterQuery(rng, feats, dim)
+
+	plain, err := s.Search(&core.SearchRequest{Feature: q, TopK: 10, Category: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Probed != 2 {
+		t.Fatalf("unfiltered probe width %d, want the configured 2", plain.Probed)
+	}
+
+	oneP, err := s.Search(&core.SearchRequest{Feature: q, TopK: 10, Category: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneP.Probed <= 2 || oneP.Probed > nlists {
+		t.Fatalf("1%% filter probed %d lists, want widened into (2, %d]", oneP.Probed, nlists)
+	}
+	if len(oneP.Hits) != 10 {
+		t.Fatalf("1%% filter returned %d hits, want full page of 10", len(oneP.Hits))
+	}
+
+	tiny, err := s.Search(&core.SearchRequest{Feature: q, TopK: 10, Category: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Probed != nlists {
+		t.Fatalf("0.1%% filter probed %d lists, want all %d", tiny.Probed, nlists)
+	}
+	if len(tiny.Hits) != n/1000 {
+		t.Fatalf("0.1%% filter returned %d hits, want all %d matches", len(tiny.Hits), n/1000)
+	}
+
+	st := s.Stats()
+	if st.FilteredSearches != 2 {
+		t.Fatalf("FilteredSearches = %d, want 2 (the unfiltered query must not count)", st.FilteredSearches)
+	}
+}
+
+// TestWidenKnobs pins the widening arithmetic and its caps.
+func TestWidenKnobs(t *testing.T) {
+	s := &Shard{cfg: Config{NLists: 64, DefaultNProbe: 8}}
+	// 640 matches over 64 lists at k=10: 3·10·64/640 = 3 lists suffice —
+	// never narrow below the requested width.
+	if got := s.widenNProbe(8, 10, 640); got != 8 {
+		t.Fatalf("abundant matches widened to %d, want 8", got)
+	}
+	// 64 matches: want 30 lists, below the derived cap of 8×8.
+	if got := s.widenNProbe(8, 10, 64); got != 30 {
+		t.Fatalf("1%%-ish matches widened to %d, want 30", got)
+	}
+	// 4 matches: want 480, clamped to the derived 8× cap.
+	if got := s.widenNProbe(8, 10, 4); got != 64 {
+		t.Fatalf("scarce matches widened to %d, want 64 (derived cap)", got)
+	}
+	s.cfg.FilterMaxNProbe = 16
+	if got := s.widenNProbe(8, 10, 4); got != 16 {
+		t.Fatalf("scarce matches widened to %d, want the FilterMaxNProbe cap 16", got)
+	}
+	// An explicit request wider than the cap is never narrowed.
+	if got := s.widenNProbe(32, 10, 4); got != 32 {
+		t.Fatalf("explicit wide nprobe narrowed to %d, want 32", got)
+	}
+	// Zero bitmap matches with a non-exhaustive bitmap: assume worst case.
+	if got := s.widenNProbe(8, 10, 0); got != 16 {
+		t.Fatalf("zero-match widening %d, want cap 16", got)
+	}
+
+	if got := s.widenRerank(100, 1); got != 100 {
+		t.Fatalf("boost 1 changed rerank depth to %d", got)
+	}
+	if got := s.widenRerank(100, 3); got != 300 {
+		t.Fatalf("boost 3 rerank depth %d, want 300", got)
+	}
+	if got := s.widenRerank(100, 8); got != 400 {
+		t.Fatalf("boost 8 rerank depth %d, want derived cap 400", got)
+	}
+	s.cfg.FilterMaxRerankK = 150
+	if got := s.widenRerank(100, 8); got != 150 {
+		t.Fatalf("boost 8 rerank depth %d, want FilterMaxRerankK cap 150", got)
+	}
+}
+
+// TestFilteredAdmissionTailFallback: rows appended after a cached
+// predicate bitmap was built lie beyond its coverage and must still be
+// admitted (or rejected) correctly via the per-candidate fallback.
+func TestFilteredAdmissionTailFallback(t *testing.T) {
+	const n, dim, nlists = 1000, 16, 8
+	s, feats := buildFilterShard(t, n, dim, nlists, 0, nil)
+	req := &core.SearchRequest{Feature: append([]float32(nil), feats[3]...), TopK: 10, NProbe: nlists, Category: -1, MinSales: 120}
+	// No image has sales ≥ 120 yet; this search materialises (and caches)
+	// an all-zero predicate bitmap.
+	resp, err := s.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 0 {
+		t.Fatalf("pre-append search returned %d hits, want 0", len(resp.Hits))
+	}
+	// Append one matching and one non-matching image, both with the query
+	// vector itself (distance 0 — they'd rank first if admitted).
+	match := core.Attrs{ProductID: 5001, URL: "jfs://filter/tail-match.jpg", Category: 4, Sales: 150, PriceCents: 500}
+	if _, _, err := s.Insert(match, req.Feature); err != nil {
+		t.Fatal(err)
+	}
+	skew := make([]float32, dim)
+	copy(skew, req.Feature)
+	skew[0] += 1e-3
+	miss := core.Attrs{ProductID: 5002, URL: "jfs://filter/tail-miss.jpg", Category: 4, Sales: 10, PriceCents: 500}
+	if _, _, err := s.Insert(miss, skew); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 1 {
+		t.Fatalf("post-append search returned %d hits, want exactly the appended match", len(resp.Hits))
+	}
+	if resp.Hits[0].ProductID != 5001 {
+		t.Fatalf("post-append search returned product %d, want 5001", resp.Hits[0].ProductID)
+	}
+}
+
+// TestFilteredSnapshotRoundtrip: a snapshot-loaded replica rebuilds its
+// per-category bitmaps from the forward records and must filter exactly
+// like the shard that wrote the snapshot — including after a category move
+// applied on the replica.
+func TestFilteredSnapshotRoundtrip(t *testing.T) {
+	const n, dim, nlists = 2000, 16, 8
+	s, feats := buildFilterShard(t, n, dim, nlists, 0, nil)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replica, err := New(Config{Dim: dim, NLists: nlists, DefaultNProbe: 8, SearchWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	check := func(stage string) {
+		for qi := 0; qi < 5; qi++ {
+			req := &core.SearchRequest{
+				Feature: filterQuery(rng, feats, dim), TopK: 10, NProbe: nlists,
+				Category: 2, MinPriceCents: 500, MaxPriceCents: 9000,
+			}
+			want := filterOracle(replica, feats, req)
+			resp, err := replica.Search(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Hits) != len(want) {
+				t.Fatalf("%s: %d hits, oracle %d", stage, len(resp.Hits), len(want))
+			}
+			wantSet := make(map[uint32]bool, len(want))
+			for _, id := range want {
+				wantSet[id] = true
+			}
+			for _, h := range resp.Hits {
+				if !wantSet[h.Image.Local] {
+					t.Fatalf("%s: hit %d not in oracle set", stage, h.Image.Local)
+				}
+			}
+		}
+	}
+	check("loaded")
+	// Move a product between categories on the replica: bitmap maintenance
+	// must hold on rebuilt directories too.
+	if _, err := replica.UpdateAttrs(uint64(n/2+1), 5, 5, 777, 2); err != nil {
+		t.Fatal(err)
+	}
+	check("after category move")
+}
+
+// TestFilteredConcurrentCategoryMoves runs filtered scans against a writer
+// relocating products between the scanned categories — the -race stress
+// for the category-bitmap publish protocol. Results during a move are
+// advisory (the §2.3 visibility window), so the assertions are bounds and
+// liveness, not exact sets.
+func TestFilteredConcurrentCategoryMoves(t *testing.T) {
+	const n, dim, nlists = 2000, 16, 8
+	s, feats := buildFilterShard(t, n, dim, nlists, 0, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the single real-time writer
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pid := uint64(rng.Intn(n) + 1)
+			cat := uint16(2 + i%2)
+			if _, err := s.UpdateAttrs(pid, uint32(i%100), 5, uint32(100+i%9000), cat); err != nil {
+				t.Errorf("UpdateAttrs: %v", err)
+				return
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for qi := 0; qi < 150; qi++ {
+				req := &core.SearchRequest{
+					Feature: filterQuery(rng, feats, dim), TopK: 10, NProbe: nlists,
+					Category: 2, MinSales: 10,
+				}
+				resp, err := s.Search(req)
+				if err != nil {
+					t.Errorf("Search: %v", err)
+					return
+				}
+				if len(resp.Hits) > 10 {
+					t.Errorf("filtered search returned %d hits, want <= 10", len(resp.Hits))
+					return
+				}
+				for _, h := range resp.Hits {
+					if h.Image.Local >= n {
+						t.Errorf("hit id %d out of range", h.Image.Local)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+}

@@ -73,6 +73,19 @@ type Config struct {
 	// query (recall@10 ≥ 0.98 on clustered synthetic corpora, guarded by
 	// TestPQRecallGuardrail). Clamped to [TopK, MaxTopK].
 	RerankK int
+	// FilterMaxNProbe caps the adaptive probe widening applied to
+	// filtered queries (category scope or attribute predicates): when the
+	// admission bitmap shows the filter is selective, the scan raises
+	// nprobe — aiming for enough admitted candidates to fill the result
+	// page — up to this many lists. 0 derives 8× the query's base nprobe,
+	// clamped to NLists. Set it to NLists to let very selective filters
+	// degrade to a full-shard scan and return every match.
+	FilterMaxNProbe int
+	// FilterMaxRerankK caps the matching ADC over-fetch widening: a
+	// filtered query's re-rank depth scales with the same factor as its
+	// probe widening, bounded by this knob. 0 derives 4× the unfiltered
+	// depth, clamped to MaxTopK.
+	FilterMaxRerankK int
 	// FeatureStore selects where raw feature rows live: FeatureStoreRAM
 	// ("ram", the default — heap chunks) or FeatureStoreMmap ("mmap" — an
 	// unlinked spill file served through the page cache). With the ADC
@@ -142,6 +155,18 @@ func (c *Config) validate() error {
 	if c.RerankK < 0 {
 		c.RerankK = 0
 	}
+	if c.FilterMaxNProbe < 0 {
+		c.FilterMaxNProbe = 0
+	}
+	if c.FilterMaxNProbe > c.NLists {
+		c.FilterMaxNProbe = c.NLists
+	}
+	if c.FilterMaxRerankK < 0 {
+		c.FilterMaxRerankK = 0
+	}
+	if c.FilterMaxRerankK > MaxTopK {
+		c.FilterMaxRerankK = MaxTopK
+	}
 	switch c.FeatureStore {
 	case "":
 		c.FeatureStore = FeatureStoreRAM
@@ -168,6 +193,9 @@ type Stats struct {
 	FeatureRefreshes int64
 	Deletions        int64
 	AttrUpdates      int64
+	// FilteredSearches counts queries that took the bitmap-admission path
+	// (category scope or attribute predicates set).
+	FilteredSearches int64
 	// FeatureHeapBytes is the Go-heap memory held by raw feature-row
 	// storage — Dim×4 per image (rounded up to chunks) for the RAM store,
 	// near zero for the mmap store, whose rows live in the page cache.
@@ -184,6 +212,31 @@ type Shard struct {
 	inv      *inverted.Index
 	valid    *bitmapx.Bitmap
 	feats    rowStore
+
+	// cats is the atomically published per-category bitmap directory,
+	// indexed by category value: cats[c] holds a set bit for every image
+	// whose forward record carries category c. Maintained by the single
+	// real-time writer under the same lock-free publish protocol as valid
+	// (membership bit set before the image's validity publishes it, and on
+	// category moves the new bit is set before the old one clears), read
+	// by any number of filtered scans. Validity is NOT encoded here — the
+	// admission path intersects with valid — so deletion and re-listing
+	// stay single-bit flips.
+	cats atomic.Pointer[[]*bitmapx.Bitmap]
+
+	// attrEpoch counts price/sales mutations; the predicate-bitmap cache
+	// keys on it so a materialised price/sales bitmap is dropped once the
+	// attributes under it move. Appends don't bump it: cached bitmaps
+	// record the row count they covered and the scan falls back to
+	// per-candidate checks beyond it.
+	attrEpoch atomic.Uint64
+	// predCache is the atomically published set of materialised
+	// attribute-predicate bitmaps, built lazily by querying goroutines
+	// (construction reads only lock-free structures) and replaced
+	// wholesale when attrEpoch moves.
+	predCache atomic.Pointer[predState]
+
+	filteredSearches atomic.Int64
 
 	// pqState is the atomically published (codebook, code matrix) pair of
 	// the ADC scan path. nil means no product quantizer is installed and
@@ -467,7 +520,8 @@ func (s *Shard) Insert(attrs core.Attrs, feature []float32) (core.ImageID, bool,
 		s.fwd.SetSales(id, attrs.Sales)
 		s.fwd.SetPraise(id, attrs.Praise)
 		s.fwd.SetPrice(id, attrs.PriceCents)
-		s.fwd.SetCategory(id, attrs.Category)
+		s.moveCategory(id, attrs.Category)
+		s.attrEpoch.Add(1)
 		// A re-listing may also attach the image to a different product:
 		// move it so product-level removals and updates address it under
 		// its current owner (full indexing rebuilds this mapping from the
@@ -523,6 +577,10 @@ func (s *Shard) appendRow(attrs core.Attrs, feature []float32) (core.ImageID, er
 	if fid != id {
 		return 0, fmt.Errorf("index: id skew: forward %d, features %d", id, fid)
 	}
+	// Category membership publishes before the validity bit does (the
+	// caller's publish step), so a scoped scan that sees the image as
+	// valid also finds it in its category's bitmap.
+	s.ensureCat(attrs.Category).Set(id)
 	if ps := s.pqState.Load(); ps != nil {
 		// Keep the code matrix in lockstep: the row must be committed
 		// before the inverted entry and validity bit make the id
@@ -616,6 +674,277 @@ func rowsEqual(row, feature []float32) bool {
 	return true
 }
 
+// catBitmap returns the live membership bitmap of category cat, or nil if
+// the shard has never indexed an image under it.
+func (s *Shard) catBitmap(cat uint16) *bitmapx.Bitmap {
+	dir := s.cats.Load()
+	if dir == nil || int(cat) >= len(*dir) {
+		return nil
+	}
+	return (*dir)[cat]
+}
+
+// ensureCat returns category cat's bitmap, growing the directory
+// copy-on-write when absent. Called only from the single real-time
+// indexing writer (or quiesced loads), so the load-copy-store below never
+// races with another writer; concurrent filtered scans see either the old
+// or the new directory, both internally consistent.
+func (s *Shard) ensureCat(cat uint16) *bitmapx.Bitmap {
+	if b := s.catBitmap(cat); b != nil {
+		return b
+	}
+	var old []*bitmapx.Bitmap
+	if dir := s.cats.Load(); dir != nil {
+		old = *dir
+	}
+	next := make([]*bitmapx.Bitmap, max(len(old), int(cat)+1))
+	copy(next, old)
+	b := bitmapx.New(0)
+	next[cat] = b
+	s.cats.Store(&next)
+	return b
+}
+
+// moveCategory keeps the per-category bitmaps in lockstep with a forward
+// category update. Publication order is the category-bitmap invariant: the
+// new category's bit is set first, then the forward record, and the old
+// bit clears last — a valid image is always a member of at least the
+// bitmap matching its forward category, so a scoped scan intersecting
+// (valid ∧ category) never drops an image mid-move. The transient overlap
+// (member of both bitmaps) can admit the image into a scan scoped to its
+// old category for one visibility window; the hit carries its forward
+// (new) category, so the blender's post-merge re-check drops it.
+func (s *Shard) moveCategory(id core.ImageID, newCat uint16) {
+	_, _, _, old, ok := s.fwd.Numeric(id)
+	s.ensureCat(newCat).Set(id)
+	s.fwd.SetCategory(id, newCat)
+	if ok && old != newCat {
+		if b := s.catBitmap(old); b != nil {
+			b.Clear(id)
+		}
+	}
+}
+
+// predKey identifies one attribute-predicate combination.
+type predKey struct {
+	minSales, minPrice, maxPrice uint32
+}
+
+// predEntry is one materialised predicate bitmap: a set bit for every
+// forward record — valid or not; validity is intersected separately —
+// whose sales/price pass the key's predicates, covering rows
+// [0, builtLen). Ids at or beyond builtLen take the per-candidate slow
+// path instead.
+type predEntry struct {
+	words    bitmapx.Words
+	builtLen uint32
+}
+
+// predState is the predicate-bitmap cache published for one attrEpoch
+// value; an epoch mismatch discards it wholesale.
+type predState struct {
+	epoch   uint64
+	entries map[predKey]*predEntry
+}
+
+// maxPredEntries bounds the cache; predicate combinations beyond it evict
+// arbitrarily on the next publish.
+const maxPredEntries = 8
+
+// predWords returns the materialised bitmap for the request's attribute
+// predicates, building and caching it when absent. Any querying goroutine
+// may build — construction reads only lock-free structures — and when two
+// race, the last publish wins and the loser's work is one wasted O(rows)
+// pass. A price/sales update concurrent with a build can leave one stale
+// bit in the entry for the rest of the epoch; that is the same visibility
+// window as any §2.3 non-atomic update, and the blender's post-merge
+// re-check drops such a hit.
+func (s *Shard) predWords(req *core.SearchRequest) *predEntry {
+	key := predKey{minSales: req.MinSales, minPrice: req.MinPriceCents, maxPrice: req.MaxPriceCents}
+	epoch := s.attrEpoch.Load()
+	cur := s.predCache.Load()
+	if cur != nil && cur.epoch == epoch {
+		if e, ok := cur.entries[key]; ok {
+			return e
+		}
+	}
+	n := uint32(s.fwd.Len())
+	e := &predEntry{builtLen: n, words: make(bitmapx.Words, (n+63)/64)}
+	for id := uint32(0); id < n; id++ {
+		sales, _, price, _, ok := s.fwd.Numeric(id)
+		if ok && req.MatchesAttrs(sales, price) {
+			e.words[id/64] |= 1 << (id % 64)
+		}
+	}
+	next := &predState{epoch: epoch, entries: map[predKey]*predEntry{key: e}}
+	if cur != nil && cur.epoch == epoch {
+		for k, v := range cur.entries {
+			if len(next.entries) >= maxPredEntries {
+				break
+			}
+			next.entries[k] = v
+		}
+	}
+	s.predCache.Store(next)
+	return e
+}
+
+// admission is the per-query candidate filter shared by the exact and ADC
+// scan paths. Unfiltered queries keep the zero-copy live path: one atomic
+// read against the validity bitmap per candidate. Filtered queries
+// pre-intersect validity ∧ category ∧ attribute predicates into one flat
+// bitmap, so the scan admits a candidate with a single word test instead
+// of a forward lookup each, and the set-bit count prices the filter's
+// selectivity before any list is probed. The bitmap is a snapshot: rows
+// published or delisted mid-query are invisible to it — the usual
+// single-writer visibility window. Ids at or beyond tail (rows appended
+// after the snapshot, or past a cached predicate bitmap's build length)
+// fall back to the pre-pushdown per-candidate check.
+type admission struct {
+	s          *Shard
+	req        *core.SearchRequest
+	live       *bitmapx.Bitmap // unfiltered: consult the live validity bitmap
+	words      bitmapx.Words   // filtered: pre-intersected admission words
+	tail       uint32          // ids ≥ tail take the slow per-candidate path
+	matches    int             // set bits in words (selectivity estimate)
+	exhaustive bool            // words covered every committed row at build time
+}
+
+// admit reports whether candidate id passes the query's filter.
+func (a *admission) admit(id uint32) bool {
+	if a.live != nil {
+		return a.live.Get(id)
+	}
+	if id >= a.tail {
+		return a.s.admitSlow(id, a.req)
+	}
+	return a.words.Get(id)
+}
+
+// admitSlow is the per-candidate fallback for ids beyond the admission
+// bitmap's coverage: one validity read plus one forward lookup, exactly
+// the pre-pushdown check.
+func (s *Shard) admitSlow(id uint32, req *core.SearchRequest) bool {
+	if !s.valid.Get(id) {
+		return false
+	}
+	sales, _, price, cat, ok := s.fwd.Numeric(id)
+	if !ok {
+		return false
+	}
+	if req.Category >= 0 && int32(cat) != req.Category {
+		return false
+	}
+	return req.MatchesAttrs(sales, price)
+}
+
+// buildAdmission assembles the query's candidate filter into the pooled
+// scratch buffers. The empty-and-exhaustive result (no committed row can
+// pass, e.g. a never-seen category) lets Search return an empty page
+// without probing anything.
+func (s *Shard) buildAdmission(req *core.SearchRequest, sc *searchScratch) admission {
+	if req.Category < 0 && !req.HasPredicates() {
+		return admission{live: s.valid}
+	}
+	a := admission{s: s, req: req}
+	if req.Category > math.MaxUint16 {
+		// Forward records store the category as uint16; nothing can match.
+		a.exhaustive = true
+		return a
+	}
+	sc.adm = s.valid.AppendWords(sc.adm[:0])
+	tail := uint32(len(sc.adm)) * 64
+	if req.Category >= 0 {
+		cb := s.catBitmap(uint16(req.Category))
+		if cb == nil {
+			// No committed row has ever carried the category.
+			a.exhaustive = true
+			return a
+		}
+		sc.admCat = cb.AppendWords(sc.admCat[:0])
+		// The category bitmap may trail the validity bitmap in growth;
+		// absent words mean "not a member", so pad with zeros rather than
+		// letting And truncate the coverage.
+		for len(sc.admCat) < len(sc.adm) {
+			sc.admCat = append(sc.admCat, 0)
+		}
+		sc.adm = bitmapx.And(sc.adm, sc.adm, sc.admCat)
+	}
+	if req.HasPredicates() {
+		e := s.predWords(req)
+		sc.adm = bitmapx.And(sc.adm, sc.adm, e.words)
+		if t := uint32(len(sc.adm)) * 64; t < tail {
+			tail = t
+		}
+		if e.builtLen < tail {
+			tail = e.builtLen
+		}
+	}
+	a.words = sc.adm
+	a.tail = tail
+	a.matches = a.words.Count()
+	a.exhaustive = tail >= uint32(s.fwd.Len())
+	return a
+}
+
+// filterCandidateTarget is how many admitted candidates — as a multiple of
+// k — the widened probe set should surface in expectation.
+const filterCandidateTarget = 3
+
+// widenNProbe adaptively raises a filtered query's probe width: with
+// matches admitted images spread across NLists lists, probing nprobe lists
+// surfaces ≈ matches·nprobe/NLists admitted candidates in expectation; aim
+// for filterCandidateTarget·k of them, clamped to FilterMaxNProbe (0
+// derives 8× the base width). An explicit wide nprobe is never narrowed.
+func (s *Shard) widenNProbe(nprobe, k, matches int) int {
+	maxProbe := s.cfg.FilterMaxNProbe
+	if maxProbe <= 0 {
+		maxProbe = 8 * nprobe
+	}
+	if maxProbe > s.cfg.NLists {
+		maxProbe = s.cfg.NLists
+	}
+	if maxProbe < nprobe {
+		return nprobe
+	}
+	if matches <= 0 {
+		// Every match (if any) lives past the bitmap's coverage — fresh
+		// appends only; assume worst-case selectivity.
+		return maxProbe
+	}
+	want := (filterCandidateTarget*k*s.cfg.NLists + matches - 1) / matches
+	if want <= nprobe {
+		return nprobe
+	}
+	if want > maxProbe {
+		want = maxProbe
+	}
+	return want
+}
+
+// widenRerank scales a filtered query's ADC over-fetch depth by the same
+// factor as its probe widening, capped by FilterMaxRerankK (0 derives 4×
+// the unfiltered depth) and MaxTopK.
+func (s *Shard) widenRerank(r, boost int) int {
+	if boost <= 1 {
+		return r
+	}
+	maxR := s.cfg.FilterMaxRerankK
+	if maxR <= 0 {
+		maxR = 4 * r
+	}
+	if maxR > MaxTopK {
+		maxR = MaxTopK
+	}
+	if maxR < r {
+		maxR = r
+	}
+	if r > maxR/boost {
+		return maxR
+	}
+	return r * boost
+}
+
 // HasURL reports whether the shard has ever indexed url (valid or not).
 func (s *Shard) HasURL(url string) bool {
 	s.tabMu.RLock()
@@ -673,7 +1002,8 @@ func (s *Shard) UpdateAttrsURL(url string, sales, praise, price uint32, category
 	s.fwd.SetSales(id, sales)
 	s.fwd.SetPraise(id, praise)
 	s.fwd.SetPrice(id, price)
-	s.fwd.SetCategory(id, category)
+	s.moveCategory(id, category)
+	s.attrEpoch.Add(1)
 	s.bump(func(st *Stats) { st.AttrUpdates++ })
 	return nil
 }
@@ -693,8 +1023,9 @@ func (s *Shard) UpdateAttrs(productID uint64, sales, praise, price uint32, categ
 		s.fwd.SetSales(id, sales)
 		s.fwd.SetPraise(id, praise)
 		s.fwd.SetPrice(id, price)
-		s.fwd.SetCategory(id, category)
+		s.moveCategory(id, category)
 	}
+	s.attrEpoch.Add(1)
 	s.bump(func(st *Stats) { st.AttrUpdates++ })
 	return len(ids), nil
 }
@@ -736,6 +1067,8 @@ type searchScratch struct {
 	counts    []int
 	lut       []float32   // per-query ADC distance table (PQ path)
 	missing   []topk.Item // re-rank candidates whose raw row was unavailable
+	adm       bitmapx.Words
+	admCat    bitmapx.Words
 }
 
 var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
@@ -799,6 +1132,26 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 
 	sc := searchScratchPool.Get().(*searchScratch)
 	defer searchScratchPool.Put(sc)
+
+	// Build the candidate-admission filter before probe selection: its
+	// set-bit count prices the filter's selectivity, which may widen the
+	// probe set (and the ADC re-rank depth, by the same factor) so that
+	// selective filters still fill the result page.
+	adm := s.buildAdmission(req, sc)
+	rerankBoost := 1
+	if adm.live == nil {
+		s.filteredSearches.Add(1)
+		if adm.matches == 0 && adm.exhaustive {
+			// No committed row passes the filter; nothing to probe.
+			return &core.SearchResponse{}, nil
+		}
+		widened := s.widenNProbe(nprobe, k, adm.matches)
+		if widened > nprobe {
+			rerankBoost = (widened + nprobe - 1) / nprobe
+			nprobe = widened
+		}
+	}
+
 	sc.probe, sc.probeDist = vecmath.TopCentroidsInto(
 		sc.probe, sc.probeDist, req.Feature, s.codebook.Centroids, s.cfg.Dim, nprobe)
 	lists := sc.probe
@@ -822,10 +1175,10 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 	var items []topk.Item
 	scanned := 0
 	if ps := s.pqState.Load(); ps != nil {
-		items, scanned = s.searchADC(req, lists, workers, k, sc, ps)
+		items, scanned = s.searchADC(req, lists, workers, k, sc, ps, &adm, rerankBoost)
 	} else {
 		scanned = s.scanStriped(workers, k, sc, func(start, stride int, sel *topk.Selector) int {
-			return s.scanLists(req, lists, start, stride, sel)
+			return s.scanLists(req, lists, start, stride, sel, &adm)
 		})
 		items = sc.merged
 	}
@@ -856,24 +1209,21 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 }
 
 // scanLists scans every probed list whose index ≡ start (mod stride),
-// pushing valid candidates into sel, and returns how many it scanned.
+// pushing admitted candidates into sel, and returns how many it scanned.
 // Striding interleaves the (distance-ordered, unevenly sized) lists across
-// workers for balanced shares.
-func (s *Shard) scanLists(req *core.SearchRequest, lists []int, start, stride int, sel *topk.Selector) int {
+// workers for balanced shares. Validity, category scope and attribute
+// predicates are all decided by the admission filter — a single word test
+// on the pre-intersected bitmap for filtered queries, a validity-bit read
+// otherwise.
+func (s *Shard) scanLists(req *core.SearchRequest, lists []int, start, stride int, sel *topk.Selector, adm *admission) int {
 	// Search pins the shard for the whole query, but workers run this on
 	// their own goroutines; pin here too so the row reads stay covered no
 	// matter who calls.
 	defer runtime.KeepAlive(s)
 	scanned := 0
 	scan := func(id uint32) bool {
-		if !s.valid.Get(id) {
-			return true // off-market: excluded from search (§2.2)
-		}
-		if req.Category >= 0 {
-			_, _, _, cat, ok := s.fwd.Numeric(id)
-			if !ok || int32(cat) != req.Category {
-				return true
-			}
+		if !adm.admit(id) {
+			return true // off-market or filtered out (§2.2 validity, scope, predicates)
 		}
 		row := s.feats.Row(id)
 		if row == nil {
@@ -945,7 +1295,7 @@ func (s *Shard) scanStriped(workers, k int, sc *searchScratch, scan func(start, 
 // probed lists (striped across workers exactly like the exact scan), then
 // re-rank that short list against the raw feature rows and keep the exact
 // top k. Returns the final items and the number of candidates scored.
-func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, sc *searchScratch, ps *shardPQ) ([]topk.Item, int) {
+func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, sc *searchScratch, ps *shardPQ, adm *admission, rerankBoost int) ([]topk.Item, int) {
 	// The exact re-rank reads raw rows; keep the mmap mapping alive for
 	// the duration (see Search).
 	defer runtime.KeepAlive(s)
@@ -953,9 +1303,9 @@ func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, 
 	// was validated against the shard at install time, so BuildLUT cannot
 	// fail here.
 	sc.lut, _ = ps.cb.BuildLUT(req.Feature, sc.lut)
-	rerankK := s.rerankDepth(k)
+	rerankK := s.widenRerank(s.rerankDepth(k), rerankBoost)
 	scanned := s.scanStriped(workers, rerankK, sc, func(start, stride int, sel *topk.Selector) int {
-		return s.scanListsADC(req, lists, start, stride, sel, ps, sc.lut)
+		return s.scanListsADC(req, lists, start, stride, sel, ps, sc.lut, adm)
 	})
 
 	// Exact re-rank: the candidates are safely copied into sc.merged, so
@@ -986,6 +1336,13 @@ func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, 
 			if ranked == k {
 				break
 			}
+			// Re-check admission before backfilling: the scan admitted this
+			// candidate, but it may have been delisted or drifted out of the
+			// filter between the scan and the re-rank, and unlike the exact
+			// branch this one reads nothing else that would catch it.
+			if !adm.admit(uint32(it.ID)) {
+				continue
+			}
 			ranked++
 			sel.Push(it.ID, it.Dist)
 		}
@@ -997,17 +1354,11 @@ func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, 
 // scanListsADC is scanLists scoring PQ codes through the query's lookup
 // table instead of float rows: M byte-indexed adds per candidate instead
 // of Dim float subtract-multiply-adds over a Dim×4-byte row.
-func (s *Shard) scanListsADC(req *core.SearchRequest, lists []int, start, stride int, sel *topk.Selector, ps *shardPQ, lut []float32) int {
+func (s *Shard) scanListsADC(req *core.SearchRequest, lists []int, start, stride int, sel *topk.Selector, ps *shardPQ, lut []float32, adm *admission) int {
 	scanned := 0
 	scan := func(id uint32) bool {
-		if !s.valid.Get(id) {
-			return true // off-market: excluded from search (§2.2)
-		}
-		if req.Category >= 0 {
-			_, _, _, cat, ok := s.fwd.Numeric(id)
-			if !ok || int32(cat) != req.Category {
-				return true
-			}
+		if !adm.admit(id) {
+			return true // off-market or filtered out (§2.2 validity, scope, predicates)
 		}
 		code := ps.codes.Row(id)
 		if code == nil {
@@ -1030,6 +1381,7 @@ func (s *Shard) Stats() Stats {
 	s.statsMu.Unlock()
 	st.Images = s.fwd.Len()
 	st.ValidImages = s.valid.Count()
+	st.FilteredSearches = s.filteredSearches.Load()
 	st.Lists = s.inv.Lists()
 	st.FeatureHeapBytes = s.feats.heapBytes()
 	if ps := s.pqState.Load(); ps != nil {
@@ -1184,6 +1536,29 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 	}
 	s.pqState.Store(fresh)
 	s.coveredOffset.Store(covered)
+	// Rebuild the per-category bitmaps from the forward records. Stale
+	// generations (tombstoned by feature refreshes) keep their bits — their
+	// validity bit is 0, and admission intersects with validity — so a
+	// snapshot-loaded replica filters identically to the shard that wrote
+	// it. The snapshot's attributes also replace whatever the predicate
+	// cache was built against.
+	catsDir := []*bitmapx.Bitmap{}
+	for id := uint32(0); id < uint32(s.fwd.Len()); id++ {
+		_, _, _, cat, ok := s.fwd.Numeric(id)
+		if !ok {
+			continue
+		}
+		for int(cat) >= len(catsDir) {
+			catsDir = append(catsDir, nil)
+		}
+		if catsDir[cat] == nil {
+			catsDir[cat] = bitmapx.New(0)
+		}
+		catsDir[cat].Set(id)
+	}
+	s.cats.Store(&catsDir)
+	s.attrEpoch.Add(1)
+	s.predCache.Store(nil)
 	// Rebuild lookup tables from the forward index. Two passes: byURL
 	// first (ascending scan, so the newest generation of a re-listed URL
 	// wins), then byProduct from only the records byURL still points at —

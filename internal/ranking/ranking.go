@@ -58,6 +58,23 @@ func (r *Ranker) weights() Weights {
 	return r.w
 }
 
+// Filter returns the hits for which keep is true, reusing the input
+// slice's backing array. The blender applies it with SearchRequest.AdmitsHit
+// before ranking: searchers push predicates down into the shard scan, but a
+// hit can drift out of the filter between the scan and the response (a
+// concurrent attribute update), and an older searcher that predates the
+// predicate wire extension does not filter at all — the post-merge re-check
+// restores exact semantics either way.
+func Filter(hits []core.Hit, keep func(*core.Hit) bool) []core.Hit {
+	out := hits[:0]
+	for i := range hits {
+		if keep(&hits[i]) {
+			out = append(out, hits[i])
+		}
+	}
+	return out
+}
+
 // Rank deduplicates hits by product (keeping each product's visually
 // closest image), scores them, and returns the top k ordered by descending
 // score. The input slice is not modified.

@@ -138,3 +138,26 @@ func TestInputNotMutated(t *testing.T) {
 		t.Fatalf("input scores mutated: %+v", hits)
 	}
 }
+
+func TestFilter(t *testing.T) {
+	hits := []core.Hit{
+		hit(1, 0.1, 5, 0, 100),
+		hit(2, 0.2, 50, 0, 100),
+		hit(3, 0.3, 7, 0, 100),
+		hit(4, 0.4, 90, 0, 100),
+	}
+	got := Filter(hits, func(h *core.Hit) bool { return h.Sales >= 10 })
+	if len(got) != 2 || got[0].ProductID != 2 || got[1].ProductID != 4 {
+		t.Fatalf("Filter kept %+v", got)
+	}
+	// In-place: the result reuses the input's backing array.
+	if &got[0] != &hits[0] {
+		t.Fatal("Filter allocated a new backing array")
+	}
+	if out := Filter(hits[:0], func(*core.Hit) bool { return true }); len(out) != 0 {
+		t.Fatalf("Filter(empty) = %+v", out)
+	}
+	if out := Filter(got, func(*core.Hit) bool { return false }); len(out) != 0 {
+		t.Fatalf("Filter(none pass) = %+v", out)
+	}
+}

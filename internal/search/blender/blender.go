@@ -169,15 +169,23 @@ func (b *Blender) handleQuery(payload []byte) ([]byte, error) {
 		category = int32(cat)
 	}
 
-	resp, err := b.fanout(&core.SearchRequest{
-		Feature:  feature,
-		TopK:     k * b.oversample,
-		NProbe:   q.NProbe,
-		Category: category,
-	})
+	fanReq := &core.SearchRequest{
+		Feature:       feature,
+		TopK:          k * b.oversample,
+		NProbe:        q.NProbe,
+		Category:      category,
+		MinPriceCents: q.MinPriceCents,
+		MaxPriceCents: q.MaxPriceCents,
+		MinSales:      q.MinSales,
+	}
+	resp, err := b.fanout(fanReq)
 	if err != nil {
 		return nil, err
 	}
+	// Post-merge re-check: searchers enforce the filter during the scan,
+	// but attribute drift mid-query (or an older searcher ignoring the
+	// predicate tail) can leak a non-matching hit into the merge.
+	resp.Hits = ranking.Filter(resp.Hits, fanReq.AdmitsHit)
 	resp.Hits = b.ranker.Rank(resp.Hits, k)
 	b.queries.Inc()
 	return core.EncodeSearchResponse(resp), nil
@@ -200,6 +208,7 @@ func (b *Blender) handleSearch(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	resp.Hits = ranking.Filter(resp.Hits, fanReq.AdmitsHit)
 	resp.Hits = b.ranker.Rank(resp.Hits, k)
 	b.queries.Inc()
 	return core.EncodeSearchResponse(resp), nil

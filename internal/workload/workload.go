@@ -248,6 +248,17 @@ type QueryLoadConfig struct {
 	// catalog is not touched — required when another goroutine (an update
 	// generator) owns the catalog during the run.
 	Blobs [][]byte
+	// BlobCategories, when non-nil, scopes each query to the category of
+	// its blob (aligned index-for-index with Blobs — MakeScopedQueryBlobs
+	// builds the pair): the category-skewed filtered workload. Nil
+	// searches all categories.
+	BlobCategories []int32
+	// MinPriceCents / MaxPriceCents / MinSales are attribute predicates
+	// attached to every query (0 = unbounded), pushed down into the
+	// searchers' bitmap-admission scan.
+	MinPriceCents uint32
+	MaxPriceCents uint32
+	MinSales      uint32
 	// Seed selects query products.
 	Seed int64
 	// Conns caps client connections (default min(Concurrency, 16)).
@@ -266,13 +277,32 @@ func MakeQueryBlobs(cat *catalog.Catalog, n int, seed int64) [][]byte {
 	return blobs
 }
 
+// MakeScopedQueryBlobs pre-generates n encoded query photos of random
+// catalog products along with each query product's own category, for the
+// category-scoped filtered workload (QueryLoadConfig.Blobs +
+// BlobCategories).
+func MakeScopedQueryBlobs(cat *catalog.Catalog, n int, seed int64) ([][]byte, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	blobs := make([][]byte, n)
+	cats := make([]int32, n)
+	for i := range blobs {
+		p := &cat.Products[rng.Intn(len(cat.Products))]
+		blobs[i] = cat.QueryImage(p).Encode()
+		cats[i] = int32(p.Category)
+	}
+	return blobs, cats
+}
+
 // QueryLoadResult summarises a run.
 type QueryLoadResult struct {
 	Queries int64
 	Errors  int64
-	Wall    time.Duration
-	QPS     float64
-	Latency *metrics.Histogram
+	// FullPages counts queries whose response filled the whole TopK page —
+	// the page-fill rate selective filters threaten.
+	FullPages int64
+	Wall      time.Duration
+	QPS       float64
+	Latency   *metrics.Histogram
 }
 
 // RunQueryLoad emulates cfg.Concurrency users issuing back-to-back visual
@@ -310,8 +340,12 @@ func RunQueryLoad(cfg QueryLoadConfig, cat *catalog.Catalog) (*QueryLoadResult, 
 	}
 	defer cl.Close()
 
+	if cfg.BlobCategories != nil && len(cfg.BlobCategories) != len(blobs) {
+		return nil, errors.New("workload: BlobCategories must align with Blobs")
+	}
+
 	res := &QueryLoadResult{Latency: &metrics.Histogram{}}
-	var queries, errs atomic.Int64
+	var queries, errs, fullPages atomic.Int64
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -324,22 +358,34 @@ func RunQueryLoad(cfg QueryLoadConfig, cat *catalog.Catalog) (*QueryLoadResult, 
 			defer wg.Done()
 			local := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 			for time.Now().Before(deadline) {
+				bi := local.Intn(len(blobs))
+				// CategoryScope -1 searches all categories (the §3.2
+				// clients measure raw retrieval throughput); the filtered
+				// workload scopes each query to its product's category.
+				scope := int32(-1)
+				if cfg.BlobCategories != nil {
+					scope = cfg.BlobCategories[bi]
+				}
 				q := &core.QueryRequest{
-					ImageBlob: blobs[local.Intn(len(blobs))],
-					TopK:      cfg.TopK,
-					NProbe:    cfg.NProbe,
-					// CategoryScope -1: search all categories; the clients
-					// in §3.2 measure raw retrieval throughput.
-					CategoryScope: -1,
+					ImageBlob:     blobs[bi],
+					TopK:          cfg.TopK,
+					NProbe:        cfg.NProbe,
+					CategoryScope: scope,
+					MinPriceCents: cfg.MinPriceCents,
+					MaxPriceCents: cfg.MaxPriceCents,
+					MinSales:      cfg.MinSales,
 				}
 				t0 := time.Now()
-				_, err := cl.Query(ctx, q)
+				resp, err := cl.Query(ctx, q)
 				lat := time.Since(t0)
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
 				queries.Add(1)
+				if len(resp.Hits) >= cfg.TopK {
+					fullPages.Add(1)
+				}
 				res.Latency.Record(lat)
 			}
 		}(w)
@@ -348,6 +394,7 @@ func RunQueryLoad(cfg QueryLoadConfig, cat *catalog.Catalog) (*QueryLoadResult, 
 	res.Wall = time.Since(start)
 	res.Queries = queries.Load()
 	res.Errors = errs.Load()
+	res.FullPages = fullPages.Load()
 	if res.Wall > 0 {
 		res.QPS = float64(res.Queries) / res.Wall.Seconds()
 	}
