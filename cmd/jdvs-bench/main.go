@@ -9,6 +9,7 @@
 //	jdvs-bench -experiment fig13  [-duration 2s] [-products N]
 //	jdvs-bench -experiment hedge  [-duration 3s] [-replicas 2] [-slow-replica-ms 200] [-slow-replica-frac 0.2]
 //	jdvs-bench -experiment filtered [-duration 2s] [-filter-selectivity 0.01] [-products N]
+//	jdvs-bench -experiment cached [-duration 2s] [-zipf-s 1.1] [-query-pool 512] [-extract-work 256]
 //	jdvs-bench -experiment all
 //
 // Scale flags default to laptop-friendly sizes; raise -products /-events
@@ -22,6 +23,11 @@
 // every query scoped to its product's category over a catalog sized so a
 // scoped query admits ≈ -filter-selectivity of the corpus — and reports how
 // the searchers' bitmap-admission pushdown keeps the scoped page full.
+//
+// The cached experiment runs one zipf-skewed query stream (-zipf-s) against
+// two otherwise identical clusters — caches off, then the blender feature
+// cache plus the broker result cache on — and reports hit rates and the
+// closed-loop speedup the two levels recover.
 package main
 
 import (
@@ -42,7 +48,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "which artifact to regenerate: table1, fig11, fig12, fig13, hedge, filtered, all")
+		experiment = flag.String("experiment", "all", "which artifact to regenerate: table1, fig11, fig12, fig13, hedge, filtered, cached, all")
 		events     = flag.Int("events", 0, "update events for table1/fig11 (0 = default scale)")
 		day        = flag.Duration("day", 0, "real duration of fig11's simulated day (0 = default 12s)")
 		duration   = flag.Duration("duration", 0, "measurement window per setting for fig12/fig13 (0 = defaults)")
@@ -58,6 +64,11 @@ func run() error {
 		featStore  = flag.String("feature-store", "", "fig12/fig13/hedge: where searcher shards keep raw feature rows: ram (default, dim×4 heap bytes/image) or mmap (rows in a page-cache-served spill file; RAM holds only the M-byte PQ codes)")
 		spillDir   = flag.String("spill-dir", "", "fig12/fig13/hedge: directory for feature-store spill files with -feature-store mmap (default: OS temp dir)")
 		filterSel  = flag.Float64("filter-selectivity", 0, "filtered: fraction of the corpus one scoped query admits; the catalog gets round(1/selectivity) categories (0 = default 0.01)")
+		zipfS      = flag.Float64("zipf-s", 0, "cached: query skew exponent, must be > 1 (0 = default 1.1)")
+		queryPool  = flag.Int("query-pool", 0, "cached: distinct query images in the zipf-weighted pool (0 = default 512)")
+		extractW   = flag.Int("extract-work", 0, "cached: simulated CNN cost in extra forward passes per extraction (0 = default 256)")
+		featCache  = flag.Int("feature-cache", 0, "cached: blender feature-cache capacity in vectors (0 = half the query pool)")
+		resCache   = flag.Int("result-cache", 0, "cached: broker result-cache capacity in pages (0 = half the query pool)")
 	)
 	flag.Parse()
 
@@ -135,14 +146,30 @@ func run() error {
 				return err
 			}
 			fmt.Println(res.Render())
+		case "cached":
+			res, err := experiments.RunCached(experiments.CachedConfig{
+				ZipfS:            *zipfS,
+				Duration:         *duration,
+				Partitions:       *partitions,
+				Products:         *products,
+				QueryPool:        *queryPool,
+				ExtractWork:      *extractW,
+				FeatureCacheSize: *featCache,
+				ResultCacheSize:  *resCache,
+				Seed:             *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
 		default:
-			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, hedge, filtered, all)", name)
+			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, hedge, filtered, cached, all)", name)
 		}
 		return nil
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig11", "fig12", "fig13", "hedge", "filtered"} {
+		for _, name := range []string{"table1", "fig11", "fig12", "fig13", "hedge", "filtered", "cached"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

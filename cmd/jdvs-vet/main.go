@@ -3,7 +3,8 @@
 // contracts the type system cannot — the lock-free publish protocol
 // (atomicmix), the mmap finalizer pin (mmappin), no blocking ops under
 // serving-path mutexes (lockhold), end-to-end knob threading
-// (knobthread), counted error paths (statcount) — plus stdlib-only
+// (knobthread), counted error paths (statcount), conventional package
+// comments on every package (pkgdoc) — plus stdlib-only
 // stand-ins for the stock nilness and unusedwrite passes, which the
 // offline build environment cannot fetch from x/tools.
 //
@@ -30,6 +31,7 @@ import (
 	"jdvs/internal/analysis/passes/lockhold"
 	"jdvs/internal/analysis/passes/mmappin"
 	"jdvs/internal/analysis/passes/nilness"
+	"jdvs/internal/analysis/passes/pkgdoc"
 	"jdvs/internal/analysis/passes/statcount"
 	"jdvs/internal/analysis/passes/unusedwrite"
 )
@@ -40,6 +42,7 @@ var all = []*analysis.Analyzer{
 	lockhold.Analyzer,
 	knobthread.Analyzer,
 	statcount.Analyzer,
+	pkgdoc.Analyzer,
 	nilness.Analyzer,
 	unusedwrite.Analyzer,
 }

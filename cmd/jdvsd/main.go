@@ -65,6 +65,9 @@ func run() error {
 		hedgeQ    = flag.Float64("hedge-quantile", 0, "broker: latency percentile that triggers a hedged replica request (0 = default 95, negative disables)")
 		hedgeMin  = flag.Duration("hedge-min-delay", 0, "broker: floor on the hedge delay (0 = default 1ms)")
 		hedgeFrac = flag.Float64("hedge-max-fraction", 0, "broker: hedge budget as a fraction of query volume (0 = default 0.1)")
+		resCache  = flag.Int("result-cache", 0, "broker: result-cache capacity in pages, keyed by request digest and invalidated by the searchers' applied-offset watermarks (0 = disabled)")
+		resLag    = flag.Int64("result-cache-max-lag", 0, "broker: queue offsets a covered shard may advance past a cached page's watermark before the page is dropped (0 = any advance invalidates)")
+		featCache = flag.Int("feature-cache", 0, "blender: feature-cache capacity in vectors, keyed by query-image content hash — a repeated image skips decode/detect/extract (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -145,6 +148,8 @@ func run() error {
 			HedgeQuantile:     *hedgeQ,
 			HedgeMinDelay:     *hedgeMin,
 			HedgeMaxFraction:  *hedgeFrac,
+			ResultCacheSize:   *resCache,
+			ResultCacheMaxLag: *resLag,
 		})
 		if err != nil {
 			return err
@@ -157,10 +162,11 @@ func run() error {
 			return fmt.Errorf("blender needs -brokers")
 		}
 		node, err := blender.New(blender.Config{
-			Brokers:   splitAddrs(*brokers),
-			Extractor: cnn.New(cnn.Config{Dim: *dim, Seed: *fseed}),
-			Ranker:    ranking.New(ranking.DefaultWeights()),
-			Addr:      *addr,
+			Brokers:          splitAddrs(*brokers),
+			Extractor:        cnn.New(cnn.Config{Dim: *dim, Seed: *fseed}),
+			Ranker:           ranking.New(ranking.DefaultWeights()),
+			Addr:             *addr,
+			FeatureCacheSize: *featCache,
 		})
 		if err != nil {
 			return err

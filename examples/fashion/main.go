@@ -1,4 +1,4 @@
-// Fashion: the Figure 14 demo — three "camera photos", top-6 similar
+// Command fashion runs the Figure 14 demo — three "camera photos", top-6 similar
 // products each, with the §2.4 query pipeline in full: detect the item,
 // identify its category, scope the search to it, rank by sales / praise /
 // price.

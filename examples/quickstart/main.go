@@ -1,5 +1,5 @@
-// Quickstart: boot a complete in-process visual search cluster over a
-// synthetic catalog, photograph a product, and ask "what looks like this?"
+// Command quickstart boots a complete in-process visual search cluster over a
+// synthetic catalog, photographs a product, and asks "what looks like this?"
 //
 //	go run ./examples/quickstart
 //

@@ -1,4 +1,4 @@
-// Realtime: the paper's core claim, live — product updates become visible
+// Command realtime shows the paper's core claim, live — product updates become visible
 // to search in sub-second time (§2.3, Fig. 4), including the
 // remove-then-relist cycle that reuses previously extracted features.
 //

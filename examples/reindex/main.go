@@ -1,4 +1,4 @@
-// Reindex: the weekly full indexing cycle of §2.2 running against live
+// Command reindex runs the weekly full indexing cycle of §2.2 against live
 // traffic — the message log is replayed, fresh partition shards are built,
 // and each searcher hot-swaps to the new index with zero query downtime.
 //

@@ -1,0 +1,55 @@
+// Package pkgdoc enforces the documentation contract the docs/ tree
+// depends on: every package carries a package comment, and the comment
+// follows godoc convention — `Package <name> ...` for libraries,
+// `Command <name> ...` for main packages — so `go doc` output and the
+// architecture docs stay navigable as the tree grows. A missing comment
+// is reported once per package, on the package clause of its first file.
+package pkgdoc
+
+import (
+	"go/ast"
+	"strings"
+
+	"jdvs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "pkgdoc",
+	Doc:  "every package must carry a conventional godoc package comment",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	var docs []*ast.File
+	for _, f := range pass.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			docs = append(docs, f)
+		}
+	}
+	if len(docs) == 0 {
+		if len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"package %s has no package comment; add one starting %q",
+				pass.Pkg.Name(), wantPrefix(pass.Pkg.Name()))
+		}
+		return nil
+	}
+	for _, f := range docs {
+		if prefix := wantPrefix(pass.Pkg.Name()); !strings.HasPrefix(f.Doc.Text(), prefix) {
+			pass.Reportf(f.Doc.Pos(),
+				"package comment for %s does not follow godoc convention; start it with %q",
+				pass.Pkg.Name(), prefix)
+		}
+	}
+	return nil
+}
+
+// wantPrefix is the conventional first words of the package comment:
+// godoc keys library docs on "Package <name>", and this repo documents
+// executables as "Command <name>".
+func wantPrefix(name string) string {
+	if name == "main" {
+		return "Command "
+	}
+	return "Package " + name + " "
+}

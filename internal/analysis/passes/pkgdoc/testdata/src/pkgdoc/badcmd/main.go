@@ -1,0 +1,4 @@
+// Package main is the wrong opening for an executable. // want `start it with "Command "`
+package main
+
+func main() {}

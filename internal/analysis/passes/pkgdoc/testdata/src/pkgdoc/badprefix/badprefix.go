@@ -1,0 +1,4 @@
+// Frobs things for the fixture. // want `does not follow godoc convention`
+package badprefix
+
+func Frob() int { return 1 }

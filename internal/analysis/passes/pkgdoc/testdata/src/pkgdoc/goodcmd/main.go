@@ -1,0 +1,4 @@
+// Command goodcmd demonstrates a conventional command comment.
+package main
+
+func main() {}

@@ -1,0 +1,4 @@
+// Package gooddoc demonstrates a conventional package comment.
+package gooddoc
+
+func Frob() int { return 1 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jdvs/internal/cache"
 	"jdvs/internal/catalog"
 	"jdvs/internal/cnn"
 	"jdvs/internal/core"
@@ -115,6 +116,22 @@ type Config struct {
 	HedgeMaxFraction float64
 	HedgeWarmup      int
 
+	// FeatureCacheSize enables the blenders' content-hash feature cache
+	// (blender.Config.FeatureCacheSize): a repeated query image skips
+	// decode, detection, and the CNN pass. The same size also fronts the
+	// indexing resolver with a content-hash cache, so a duplicate image
+	// under a new URL reuses the extracted feature. 0 disables.
+	FeatureCacheSize int
+	// ResultCacheSize / ResultCacheMaxLag / ResultCachePoll tune the
+	// brokers' watermark-invalidated result cache (broker.Config fields of
+	// the same names): up to ResultCacheSize encoded pages per broker,
+	// served only while no covered shard's applied offset has advanced
+	// more than ResultCacheMaxLag past the page's snapshot, with
+	// watermarks re-read every ResultCachePoll. 0 disables the cache.
+	ResultCacheSize   int
+	ResultCacheMaxLag int64
+	ResultCachePoll   time.Duration
+
 	// SlowReplicaDelay and SlowReplicaFraction inject artificial latency
 	// into the LAST replica of every partition (searcher.Config
 	// SearchDelay/SearchDelayFraction): roughly SlowReplicaFraction of
@@ -204,7 +221,12 @@ func Start(cfg Config) (*Cluster, error) {
 			WorkFactor: cfg.ExtractWork,
 		}),
 	}
-	c.resolver = &indexer.Resolver{DB: c.Features, Images: c.Images, Extractor: c.Extractor}
+	c.resolver = &indexer.Resolver{
+		DB:        c.Features,
+		Images:    c.Images,
+		Extractor: c.Extractor,
+		Features:  cache.New[[]float32](cfg.FeatureCacheSize),
+	}
 
 	if err := c.Queue.CreateTopic(indexer.UpdatesTopic, cfg.Partitions); err != nil {
 		return nil, err
@@ -323,6 +345,9 @@ func (c *Cluster) startTiers(shards []*index.Shard) error {
 			HedgeMinDelay:     cfg.HedgeMinDelay,
 			HedgeMaxFraction:  cfg.HedgeMaxFraction,
 			HedgeWarmup:       cfg.HedgeWarmup,
+			ResultCacheSize:   cfg.ResultCacheSize,
+			ResultCacheMaxLag: cfg.ResultCacheMaxLag,
+			ResultCachePoll:   cfg.ResultCachePoll,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: start broker %d: %w", j, err)
@@ -341,10 +366,11 @@ func (c *Cluster) startTiers(shards []*index.Shard) error {
 	}
 	for i := 0; i < cfg.Blenders; i++ {
 		bl, err := blender.New(blender.Config{
-			Brokers:    brokerAddrs,
-			Extractor:  c.Extractor,
-			Classifier: classifier,
-			Ranker:     ranking.New(ranking.DefaultWeights()),
+			Brokers:          brokerAddrs,
+			Extractor:        c.Extractor,
+			Classifier:       classifier,
+			Ranker:           ranking.New(ranking.DefaultWeights()),
+			FeatureCacheSize: cfg.FeatureCacheSize,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: start blender %d: %w", i, err)

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cluster"
+	"jdvs/internal/workload"
+)
+
+// CachedConfig parameterises the caching workload: the same zipf-skewed
+// query stream run against two otherwise identical clusters — one with
+// both cache levels disabled, one with the blender feature cache and the
+// broker result cache enabled. E-commerce query traffic is heavily skewed
+// (the same hero images hit search constantly), which is exactly what a
+// content-hash feature cache plus a watermark-invalidated result cache
+// monetise; the comparison measures how much closed-loop throughput the
+// two levels together recover.
+type CachedConfig struct {
+	// ZipfS is the query skew exponent (default 1.1). Must be > 1 to skew;
+	// the pool's rank-0 image is the hottest.
+	ZipfS float64
+	// Threads is the client concurrency (default 8).
+	Threads int
+	// Duration is the measurement window per side (default 2s).
+	Duration time.Duration
+	// Cluster sizing (defaults 2 / 1 / 1 / 1,000).
+	Partitions, Brokers, Blenders, Products int
+	// QueryPool is the number of distinct query images (default 512 — a
+	// few hundred distinct hot images, zipf-weighted).
+	QueryPool int
+	// ExtractWork is the simulated CNN cost in extra forward passes per
+	// extraction (default 256): the cost block the feature cache elides,
+	// standing in for a real CNN's tens of milliseconds.
+	ExtractWork int
+	// FeatureCacheSize / ResultCacheSize size the cached side's two levels
+	// (defaults: half the query pool each, so the tail of the zipf
+	// distribution does not fit and LRU churn is part of the measurement).
+	FeatureCacheSize int
+	ResultCacheSize  int
+	// ResultCacheMaxLag is the staleness slack in queue offsets (default 0:
+	// any covered-shard advance invalidates).
+	ResultCacheMaxLag int64
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c *CachedConfig) fill() {
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 2
+	}
+	if c.Brokers <= 0 {
+		c.Brokers = 1
+	}
+	if c.Blenders <= 0 {
+		c.Blenders = 1
+	}
+	if c.Products <= 0 {
+		c.Products = 1_000
+	}
+	if c.QueryPool <= 0 {
+		c.QueryPool = 512
+	}
+	if c.ExtractWork <= 0 {
+		c.ExtractWork = 256
+	}
+	if c.FeatureCacheSize <= 0 {
+		c.FeatureCacheSize = c.QueryPool / 2
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = c.QueryPool / 2
+	}
+}
+
+// CachedSide is one side's measurement.
+type CachedSide struct {
+	Cached  bool
+	QPS     float64
+	Mean    time.Duration
+	P50     time.Duration
+	P99     time.Duration
+	Queries int64
+	Errors  int64
+	// Cache counters, scraped from the cached side's stats endpoints
+	// (zero on the uncached side).
+	FeatureHits   int64
+	FeatureMisses int64
+	ResultHits    int64
+	ResultMisses  int64
+}
+
+// CachedResult carries both sides.
+type CachedResult struct {
+	Config   CachedConfig
+	Uncached CachedSide
+	Cached   CachedSide
+}
+
+// Speedup is the closed-loop QPS ratio cached / uncached.
+func (r *CachedResult) Speedup() float64 {
+	if r.Uncached.QPS <= 0 {
+		return 0
+	}
+	return r.Cached.QPS / r.Uncached.QPS
+}
+
+// RunCached executes the experiment.
+func RunCached(cfg CachedConfig) (*CachedResult, error) {
+	cfg.fill()
+	res := &CachedResult{Config: cfg}
+	for _, cached := range []bool{false, true} {
+		side, err := runCachedSide(cfg, cached)
+		if err != nil {
+			return nil, err
+		}
+		if cached {
+			res.Cached = *side
+		} else {
+			res.Uncached = *side
+		}
+	}
+	return res, nil
+}
+
+func runCachedSide(cfg CachedConfig, cached bool) (*CachedSide, error) {
+	ccfg := cluster.Config{
+		Partitions:  cfg.Partitions,
+		Brokers:     cfg.Brokers,
+		Blenders:    cfg.Blenders,
+		NLists:      32,
+		ExtractWork: cfg.ExtractWork,
+		Catalog: catalog.Config{
+			Products:   cfg.Products,
+			Categories: 8,
+			Seed:       cfg.Seed,
+		},
+	}
+	if cached {
+		ccfg.FeatureCacheSize = cfg.FeatureCacheSize
+		ccfg.ResultCacheSize = cfg.ResultCacheSize
+		ccfg.ResultCacheMaxLag = cfg.ResultCacheMaxLag
+	}
+	c, err := cluster.Start(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("cached (cached=%v): %w", cached, err)
+	}
+	defer c.Close()
+
+	blobs := workload.MakeQueryBlobs(c.Catalog, cfg.QueryPool, cfg.Seed)
+	lr, err := workload.RunQueryLoad(workload.QueryLoadConfig{
+		Addr:        c.FrontendAddr(),
+		Concurrency: cfg.Threads,
+		Duration:    cfg.Duration,
+		TopK:        10,
+		Blobs:       blobs,
+		ZipfS:       cfg.ZipfS,
+		Seed:        cfg.Seed,
+	}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cached load (cached=%v): %w", cached, err)
+	}
+	side := &CachedSide{
+		Cached:  cached,
+		QPS:     lr.QPS,
+		Mean:    lr.Latency.Mean(),
+		P50:     lr.Latency.Percentile(50),
+		P99:     lr.Latency.Percentile(99),
+		Queries: lr.Queries,
+		Errors:  lr.Errors,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cached stats (cached=%v): %w", cached, err)
+	}
+	for _, bl := range st.Blenders {
+		side.FeatureHits += bl.FeatureCacheHits
+		side.FeatureMisses += bl.FeatureCacheMisses
+	}
+	for _, br := range st.Brokers {
+		side.ResultHits += br.ResultCacheHits
+		side.ResultMisses += br.ResultCacheMisses
+	}
+	return side, nil
+}
+
+// Render prints the comparison table.
+func (r *CachedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Two-level caching under zipf-skewed queries (s=%.2f, pool %d, feature cache %d, result cache %d)\n\n",
+		r.Config.ZipfS, r.Config.QueryPool, r.Config.FeatureCacheSize, r.Config.ResultCacheSize)
+	row(&b, "mode", "QPS", "mean", "p50", "p99", "queries", "errors")
+	for _, s := range []*CachedSide{&r.Uncached, &r.Cached} {
+		mode := "uncached"
+		if s.Cached {
+			mode = "cached"
+		}
+		row(&b, mode, fmt.Sprintf("%.0f", s.QPS), fmtDur(s.Mean), fmtDur(s.P50), fmtDur(s.P99), s.Queries, s.Errors)
+	}
+	s := &r.Cached
+	if n := s.FeatureHits + s.FeatureMisses; n > 0 {
+		fmt.Fprintf(&b, "\nfeature cache: %s hit rate (%d hits / %d lookups)\n",
+			scalePct(s.FeatureHits, n), s.FeatureHits, n)
+	}
+	if n := s.ResultHits + s.ResultMisses; n > 0 {
+		fmt.Fprintf(&b, "result cache:  %s hit rate (%d hits / %d lookups)\n",
+			scalePct(s.ResultHits, n), s.ResultHits, n)
+	}
+	fmt.Fprintf(&b, "closed-loop speedup: %.2fx\n", r.Speedup())
+	return b.String()
+}

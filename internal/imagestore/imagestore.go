@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"jdvs/internal/core"
 	"jdvs/internal/kv"
 )
 
@@ -31,20 +32,22 @@ func New() *Store {
 	return &Store{kv: kv.NewStore()}
 }
 
-// Put stores blob under url. Re-uploading the same URL is allowed (product
-// photo refresh) and replaces the blob.
+// Put stores blob under url's canonical form (core.NormalizeURL), so a
+// variant spelling of an already-uploaded URL addresses the same blob.
+// Re-uploading the same URL is allowed (product photo refresh) and
+// replaces the blob.
 func (s *Store) Put(url string, blob []byte) error {
 	if url == "" {
 		return errors.New("imagestore: empty url")
 	}
-	s.kv.Put(url, blob)
+	s.kv.Put(core.NormalizeURL(url), blob)
 	s.puts.Add(1)
 	return nil
 }
 
-// Get returns the blob for url.
+// Get returns the blob for url (normalised before lookup).
 func (s *Store) Get(url string) ([]byte, error) {
-	b, ok := s.kv.Get(url)
+	b, ok := s.kv.Get(core.NormalizeURL(url))
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, url)
 	}
@@ -52,8 +55,8 @@ func (s *Store) Get(url string) ([]byte, error) {
 	return b, nil
 }
 
-// Has reports whether a blob exists for url.
-func (s *Store) Has(url string) bool { return s.kv.Has(url) }
+// Has reports whether a blob exists for url (normalised before lookup).
+func (s *Store) Has(url string) bool { return s.kv.Has(core.NormalizeURL(url)) }
 
 // Len returns the number of stored images.
 func (s *Store) Len() int { return s.kv.Len() }

@@ -6,9 +6,11 @@
 package indexer
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 
+	"jdvs/internal/cache"
 	"jdvs/internal/cnn"
 	"jdvs/internal/core"
 	"jdvs/internal/featuredb"
@@ -28,17 +30,42 @@ type Resolver struct {
 	DB        *featuredb.DB
 	Images    *imagestore.Store
 	Extractor *cnn.Extractor
+	// Features, when non-nil, is a content-hash-keyed feature cache layered
+	// in front of the extractor: the feature DB dedups by URL, this dedups
+	// by image bytes, so the same photo re-shared under a different URL
+	// still skips the CNN pass.
+	Features *cache.Cache[[]float32]
 }
 
 // Resolve returns the feature entry for url, extracting and caching it on
-// first sight. reused reports whether extraction was avoided.
+// first sight. reused reports whether extraction was avoided. The URL is
+// normalised first so equivalent re-shared spellings share one entry.
 func (r *Resolver) Resolve(url string, attrs core.Attrs) (entry *featuredb.Entry, reused bool, err error) {
+	url = core.NormalizeURL(url)
+	if attrs.URL != "" {
+		attrs.URL = core.NormalizeURL(attrs.URL)
+	}
 	return r.DB.GetOrCompute(url, attrs, func() ([]float32, error) {
 		blob, err := r.Images.Get(url)
 		if err != nil {
 			return nil, err
 		}
-		return r.Extractor.ExtractBytes(blob)
+		var key string
+		if r.Features != nil {
+			sum := sha256.Sum256(blob)
+			key = string(sum[:])
+			if f, ok := r.Features.Get(key); ok {
+				return f, nil
+			}
+		}
+		f, err := r.Extractor.ExtractBytes(blob)
+		if err != nil {
+			return nil, err
+		}
+		if r.Features != nil {
+			r.Features.Put(key, f, int64(4*len(f)))
+		}
+		return f, nil
 	})
 }
 
@@ -48,14 +75,17 @@ const UpdatesTopic = "product-updates"
 // RouteUpdate expands one product-level update into per-image messages and
 // produces each onto the partition selected by hashing its image URL — the
 // same placement rule the index uses (§2.4), so every event lands on the
-// searcher that owns the image. It returns the number of per-image
-// messages produced.
+// searcher that owns the image. URLs are normalised here, at the mouth of
+// the pipeline, so every downstream identity — partition hash, forward
+// index, feature DB — sees one canonical spelling per image. It returns
+// the number of per-image messages produced.
 func RouteUpdate(q *mq.Queue, u *msg.ProductUpdate) (int, error) {
 	if len(u.ImageURLs) == 0 {
 		return 0, errors.New("indexer: update carries no image URLs")
 	}
 	n := 0
 	for _, url := range u.ImageURLs {
+		url = core.NormalizeURL(url)
 		per := *u
 		per.ImageURLs = []string{url}
 		if _, _, err := q.ProduceKeyed(UpdatesTopic, url, per.Encode()); err != nil {

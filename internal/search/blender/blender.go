@@ -11,12 +11,14 @@ package blender
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"jdvs/internal/cache"
 	"jdvs/internal/cnn"
 	"jdvs/internal/core"
 	"jdvs/internal/imaging"
@@ -46,6 +48,12 @@ type Config struct {
 	// BrokerTimeout bounds the whole broker fan-out (default 10s) — a
 	// stalled broker degrades coverage instead of hanging the query.
 	BrokerTimeout time.Duration
+	// FeatureCacheSize, when > 0, enables the query-side feature cache: up
+	// to this many extracted feature vectors keyed by the content hash of
+	// the query image bytes, so a re-submitted hot image (the skew
+	// e-commerce traffic lives on) skips decode, detection, and the CNN
+	// pass entirely (0 disables).
+	FeatureCacheSize int
 	// Addr is the listen address (":0" for ephemeral).
 	Addr string
 }
@@ -60,6 +68,9 @@ type Blender struct {
 	oversample int
 	timeout    time.Duration
 	addr       string
+
+	// features caches (content hash → extracted feature); nil = disabled.
+	features *cache.Cache[[]float32]
 
 	queries  metrics.Counter
 	failures metrics.Counter
@@ -94,6 +105,7 @@ func New(cfg Config) (*Blender, error) {
 		ranker:     cfg.Ranker,
 		oversample: cfg.Oversample,
 		timeout:    cfg.BrokerTimeout,
+		features:   cache.New[[]float32](cfg.FeatureCacheSize),
 	}
 	for _, addr := range cfg.Brokers {
 		pool, err := rpc.DialPool(addr, cfg.ConnsPerBroker)
@@ -145,17 +157,30 @@ func (b *Blender) handleQuery(payload []byte) ([]byte, error) {
 		k = 10
 	}
 
-	// §2.4: detect the item, identify its category, extract features.
-	img, err := imaging.Decode(q.ImageBlob)
-	if err != nil {
-		return nil, fmt.Errorf("blender: decode query image: %w", err)
+	// §2.4: detect the item, identify its category, extract features —
+	// unless this exact image (by content hash) was embedded recently, in
+	// which case the whole pipeline head is skipped.
+	var fkey string
+	feature, cached := []float32(nil), false
+	if b.features != nil {
+		sum := sha256.Sum256(q.ImageBlob)
+		fkey = string(sum[:])
+		feature, cached = b.features.Get(fkey)
 	}
-	if _, err := cnn.Detect(img); err != nil {
-		return nil, fmt.Errorf("blender: detect: %w", err)
-	}
-	feature, err := b.extractor.Extract(img)
-	if err != nil {
-		return nil, fmt.Errorf("blender: extract: %w", err)
+	if !cached {
+		img, err := imaging.Decode(q.ImageBlob)
+		if err != nil {
+			return nil, fmt.Errorf("blender: decode query image: %w", err)
+		}
+		if _, err := cnn.Detect(img); err != nil {
+			return nil, fmt.Errorf("blender: detect: %w", err)
+		}
+		if feature, err = b.extractor.Extract(img); err != nil {
+			return nil, fmt.Errorf("blender: extract: %w", err)
+		}
+		if b.features != nil {
+			b.features.Put(fkey, feature, int64(4*len(feature)))
+		}
 	}
 	category := q.CategoryScope
 	if q.AutoCategory {
@@ -268,12 +293,24 @@ type Stats struct {
 	Brokers  int   `json:"brokers"`
 	Queries  int64 `json:"queries"`
 	Failures int64 `json:"failures"`
+	// Feature-cache counters (all zero when the cache is disabled): hits
+	// are queries whose decode/detect/extract head was skipped because the
+	// same image bytes were embedded recently.
+	FeatureCacheHits    int64 `json:"feature_cache_hits"`
+	FeatureCacheMisses  int64 `json:"feature_cache_misses"`
+	FeatureCacheEntries int64 `json:"feature_cache_entries"`
+	FeatureCacheBytes   int64 `json:"feature_cache_bytes"`
 }
 
 func (b *Blender) handleStats([]byte) ([]byte, error) {
+	cs := b.features.Stats()
 	return json.Marshal(Stats{
-		Brokers:  len(b.brokers),
-		Queries:  b.queries.Value(),
-		Failures: b.failures.Value(),
+		Brokers:             len(b.brokers),
+		Queries:             b.queries.Value(),
+		Failures:            b.failures.Value(),
+		FeatureCacheHits:    cs.Hits,
+		FeatureCacheMisses:  cs.Misses,
+		FeatureCacheEntries: cs.Entries,
+		FeatureCacheBytes:   cs.Bytes,
 	})
 }

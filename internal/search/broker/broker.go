@@ -91,6 +91,19 @@ type Config struct {
 	// metrics.DefaultWindowSize).
 	HedgeWindow int
 
+	// ResultCacheSize, when > 0, enables the broker's result cache: up to
+	// this many encoded result pages keyed by request digest, invalidated
+	// by the searchers' applied-offset watermarks (0 disables caching).
+	ResultCacheSize int
+	// ResultCacheMaxLag is how many queue offsets a covered shard may
+	// advance past a cached page's watermark snapshot before the page is
+	// considered stale (default 0: any advance invalidates).
+	ResultCacheMaxLag int64
+	// ResultCachePoll is how often the broker re-reads the searchers'
+	// applied offsets over MethodStats (default 25ms; negative disables the
+	// poller — tests then drive refreshes directly).
+	ResultCachePoll time.Duration
+
 	// Addr is the listen address (":0" for ephemeral).
 	Addr string
 }
@@ -159,6 +172,8 @@ type Broker struct {
 	hedgeMinDelay time.Duration
 	hedgeWarmup   uint64
 	hedging       bool
+
+	rcache *resultCache // nil when ResultCacheSize == 0
 
 	queries      metrics.Counter
 	failures     metrics.Counter
@@ -246,6 +261,13 @@ func New(cfg Config) (*Broker, error) {
 		}
 		b.groups = append(b.groups, g)
 	}
+	if cfg.ResultCacheSize > 0 {
+		poll := cfg.ResultCachePoll
+		if poll == 0 {
+			poll = 25 * time.Millisecond
+		}
+		b.rcache = newResultCache(b, cfg.ResultCacheSize, cfg.ResultCacheMaxLag, poll)
+	}
 	b.srv = rpc.NewServer()
 	b.srv.Handle(search.MethodSearch, b.handleSearch)
 	b.srv.Handle(search.MethodStats, b.handleStats)
@@ -265,6 +287,9 @@ func (b *Broker) Addr() string { return b.addr }
 // Close stops serving and closes searcher connections.
 func (b *Broker) Close() {
 	b.srv.Close()
+	if b.rcache != nil {
+		b.rcache.stop() // the watermark poller uses the pools; stop it first
+	}
 	b.closePools()
 }
 
@@ -469,6 +494,18 @@ func (b *Broker) handleSearch(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Result cache: the request digest covers feature, predicates, scopes,
+	// and k. Snapshot the watermarks before the fan-out so a page computed
+	// while updates land is pinned to the conservative (older) reading.
+	var ckey string
+	var cmarks []int64
+	if b.rcache != nil {
+		ckey = cacheKey(payload)
+		if resp, ok := b.rcache.get(ckey); ok {
+			return resp, nil
+		}
+		cmarks = b.rcache.snapshotMarks()
+	}
 	// One deadline over the whole fan-out: replica failover and hedging
 	// keep going only while the query as a whole still has budget, and an
 	// expired query returns whatever partitions already answered.
@@ -524,7 +561,13 @@ func (b *Broker) handleSearch(payload []byte) ([]byte, error) {
 	if req.TopK > 0 && len(merged.Hits) > req.TopK {
 		merged.Hits = merged.Hits[:req.TopK]
 	}
-	return core.EncodeSearchResponse(merged), nil
+	out := core.EncodeSearchResponse(merged)
+	// Cache only complete pages: a partial would pin a missing partition's
+	// absence into every repeat of a hot query until invalidation.
+	if b.rcache != nil && okCount == len(b.groups) {
+		b.rcache.put(ckey, out, cmarks)
+	}
+	return out, nil
 }
 
 // GroupStats is one partition group's live replica-attempt latency
@@ -555,6 +598,17 @@ type Stats struct {
 	Hedges       int64 `json:"hedges"`
 	HedgeWins    int64 `json:"hedge_wins"`
 	HedgeCancels int64 `json:"hedge_cancels"`
+	// Result-cache counters (all zero when the cache is disabled). Hits
+	// are pages served without any fan-out; StaleEvictions are entries
+	// dropped because a covered shard's applied offset advanced past the
+	// entry's watermark snapshot plus ResultCacheMaxLag. PollErrors counts
+	// failed watermark reads (replica down or undecodable stats).
+	ResultCacheHits           int64 `json:"result_cache_hits"`
+	ResultCacheMisses         int64 `json:"result_cache_misses"`
+	ResultCacheStaleEvictions int64 `json:"result_cache_stale_evictions"`
+	ResultCacheEntries        int64 `json:"result_cache_entries"`
+	ResultCacheBytes          int64 `json:"result_cache_bytes"`
+	ResultCachePollErrors     int64 `json:"result_cache_poll_errors"`
 	// Groups carries each partition group's live attempt-latency
 	// percentiles from its sliding sample window.
 	Groups []GroupStats `json:"groups"`
@@ -569,6 +623,15 @@ func (b *Broker) handleStats([]byte) ([]byte, error) {
 		Hedges:       b.hedges.Value(),
 		HedgeWins:    b.hedgeWins.Value(),
 		HedgeCancels: b.hedgeCancels.Value(),
+	}
+	if b.rcache != nil {
+		cs := b.rcache.entries.Stats()
+		st.ResultCacheHits = b.rcache.hits.Value()
+		st.ResultCacheMisses = b.rcache.misses.Value()
+		st.ResultCacheStaleEvictions = b.rcache.staleEvictions.Value()
+		st.ResultCacheEntries = cs.Entries
+		st.ResultCacheBytes = cs.Bytes
+		st.ResultCachePollErrors = b.rcache.pollErrors.Value()
 	}
 	for i, g := range b.groups {
 		qs := g.lat.Quantiles(50, 95, 99)

@@ -19,14 +19,15 @@ import (
 // hang until released. Its canned response carries ProductID = id so a
 // test can tell which replica won a query.
 type fakeReplica struct {
-	id     uint64
-	addr   string
-	srv    *rpc.Server
-	resp   []byte
-	mode   atomic.Int32
-	delay  atomic.Int64 // ns, for modeSlow
-	calls  atomic.Int64
-	unhang chan struct{}
+	id      uint64
+	addr    string
+	srv     *rpc.Server
+	resp    []byte
+	mode    atomic.Int32
+	delay   atomic.Int64 // ns, for modeSlow
+	calls   atomic.Int64
+	applied atomic.Int64 // reported over MethodStats for result-cache tests
+	unhang  chan struct{}
 }
 
 const (
@@ -37,7 +38,7 @@ const (
 	modeHang
 )
 
-func newFakeReplica(t *testing.T, id uint64) *fakeReplica {
+func newFakeReplica(t testing.TB, id uint64) *fakeReplica {
 	t.Helper()
 	f := &fakeReplica{
 		id:     id,
@@ -49,6 +50,9 @@ func newFakeReplica(t *testing.T, id uint64) *fakeReplica {
 	}
 	f.srv = rpc.NewServer()
 	f.srv.Handle(search.MethodSearch, f.handle)
+	f.srv.Handle(search.MethodStats, func([]byte) ([]byte, error) {
+		return json.Marshal(map[string]int64{"applied_offset": f.applied.Load()})
+	})
 	addr, err := f.srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +97,7 @@ func validReq() *core.SearchRequest {
 	return &core.SearchRequest{Feature: []float32{1, 2, 3, 4}, TopK: 3, NProbe: 4, Category: -1}
 }
 
-func brokerStats(t *testing.T, addr string) Stats {
+func brokerStats(t testing.TB, addr string) Stats {
 	t.Helper()
 	c, err := rpc.Dial(addr)
 	if err != nil {

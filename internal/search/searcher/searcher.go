@@ -126,6 +126,14 @@ type Searcher struct {
 	skipTo   atomic.Int64
 	resyncTo atomic.Int64
 
+	// appliedOff is the partition's applied-offset watermark: every queue
+	// offset below it is reflected in the serving shard, whether applied by
+	// the real-time loop or covered by an installed snapshot. Monotonic
+	// (CAS-max): a consumer rewind replays already-reflected updates, so
+	// the watermark never moves back. Brokers read it from Stats to bound
+	// result-cache staleness.
+	appliedOff atomic.Int64
+
 	addr   string
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -154,6 +162,7 @@ func New(cfg Config) (*Searcher, error) {
 		done:          make(chan struct{}),
 	}
 	s.resyncTo.Store(-1)
+	s.appliedOff.Store(cfg.StartOffset)
 	if cfg.SearchDelay > 0 && cfg.SearchDelayFraction > 0 {
 		s.delay = cfg.SearchDelay
 		frac := cfg.SearchDelayFraction
@@ -222,6 +231,17 @@ func (s *Searcher) SwapShard(next *index.Shard) {
 	if covered := next.CoveredOffset(); covered > 0 {
 		s.skipTo.Store(covered)
 		s.resyncTo.Store(covered)
+		s.advanceApplied(covered)
+	}
+}
+
+// advanceApplied raises the applied-offset watermark to off (monotonic).
+func (s *Searcher) advanceApplied(off int64) {
+	for {
+		cur := s.appliedOff.Load()
+		if off <= cur || s.appliedOff.CompareAndSwap(cur, off) {
+			return
+		}
 	}
 }
 
@@ -275,7 +295,11 @@ type Stats struct {
 	LoadSessions  int   `json:"load_sessions"`
 	// OffsetSkips counts queue messages the real-time consumer skipped
 	// because an installed snapshot already covered their offsets.
-	OffsetSkips   int64 `json:"offset_skips"`
+	OffsetSkips int64 `json:"offset_skips"`
+	// AppliedOffset is the partition's applied-offset watermark: every
+	// queue offset below it is reflected in the serving shard. Brokers use
+	// it to invalidate result-cache entries whose covered shards moved on.
+	AppliedOffset int64 `json:"applied_offset"`
 	RTAvgMicros   int64 `json:"rt_avg_micros"`
 	RTP99Micros   int64 `json:"rt_p99_micros"`
 	QueueConsumed bool  `json:"queue_consumed"`
@@ -292,6 +316,7 @@ func (s *Searcher) handleStats([]byte) ([]byte, error) {
 		SnapshotLoads: s.snapshotLoads.Value(),
 		LoadSessions:  s.loads.Sessions(),
 		OffsetSkips:   s.offsetSkips.Value(),
+		AppliedOffset: s.appliedOff.Load(),
 		RTAvgMicros:   s.rtLatency.Mean().Microseconds(),
 		RTP99Micros:   s.rtLatency.Percentile(99).Microseconds(),
 		QueueConsumed: s.queue != nil,
@@ -480,6 +505,9 @@ func (s *Searcher) realtimeLoop(consumer *mq.Consumer) {
 			}
 			s.applyOne(m)
 		}
+		// Everything up to the consumer's position is now reflected in the
+		// serving shard (applied, skipped-as-covered, or dropped).
+		s.advanceApplied(consumer.Offset())
 	}
 }
 
@@ -525,6 +553,9 @@ func (s *Searcher) OffsetSkips() int64 { return s.offsetSkips.Value() }
 
 // LoadSessions returns the number of chunked snapshot transfers in flight.
 func (s *Searcher) LoadSessions() int { return s.loads.Sessions() }
+
+// AppliedOffset returns the partition's applied-offset watermark.
+func (s *Searcher) AppliedOffset() int64 { return s.appliedOff.Load() }
 
 // Ping checks liveness over the network (used by tests).
 func Ping(ctx context.Context, addr string) error {

@@ -259,6 +259,11 @@ type QueryLoadConfig struct {
 	MinPriceCents uint32
 	MaxPriceCents uint32
 	MinSales      uint32
+	// ZipfS, when > 1, skews blob selection with a zipf distribution of
+	// exponent s over the query pool (rank 0 hottest) — the heavy-skew
+	// shape of e-commerce query traffic, where a few hero images dominate.
+	// <= 1 keeps the uniform pick.
+	ZipfS float64
 	// Seed selects query products.
 	Seed int64
 	// Conns caps client connections (default min(Concurrency, 16)).
@@ -357,8 +362,17 @@ func RunQueryLoad(cfg QueryLoadConfig, cat *catalog.Catalog) (*QueryLoadResult, 
 		go func(w int) {
 			defer wg.Done()
 			local := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var zipf *rand.Zipf
+			if cfg.ZipfS > 1 && len(blobs) > 1 {
+				zipf = rand.NewZipf(local, cfg.ZipfS, 1, uint64(len(blobs)-1))
+			}
 			for time.Now().Before(deadline) {
-				bi := local.Intn(len(blobs))
+				bi := 0
+				if zipf != nil {
+					bi = int(zipf.Uint64())
+				} else {
+					bi = local.Intn(len(blobs))
+				}
 				// CategoryScope -1 searches all categories (the §3.2
 				// clients measure raw retrieval throughput); the filtered
 				// workload scopes each query to its product's category.
