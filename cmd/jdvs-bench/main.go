@@ -10,6 +10,7 @@
 //	jdvs-bench -experiment hedge  [-duration 3s] [-replicas 2] [-slow-replica-ms 200] [-slow-replica-frac 0.2]
 //	jdvs-bench -experiment filtered [-duration 2s] [-filter-selectivity 0.01] [-products N]
 //	jdvs-bench -experiment cached [-duration 2s] [-zipf-s 1.1] [-query-pool 512] [-extract-work 256]
+//	jdvs-bench -experiment batched [-duration 2s] [-zipf-s 2.0] [-query-pool 256] [-threads 16] [-pq-bits 4] [-batch-window 1ms] [-batch-max-queries 12]
 //	jdvs-bench -experiment all
 //
 // Scale flags default to laptop-friendly sizes; raise -products /-events
@@ -28,6 +29,12 @@
 // two otherwise identical clusters — caches off, then the blender feature
 // cache plus the broker result cache on — and reports hit rates and the
 // closed-loop speedup the two levels recover.
+//
+// The batched experiment runs one zipf-skewed concurrent query stream
+// against two otherwise identical PQ clusters — searchers answering every
+// query alone, then collecting concurrent queries into -batch-window /
+// -batch-max-queries windows executed through index.SearchBatch — and
+// reports the closed-loop speedup plus a per-query result-equality audit.
 package main
 
 import (
@@ -48,7 +55,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "which artifact to regenerate: table1, fig11, fig12, fig13, hedge, filtered, cached, all")
+		experiment = flag.String("experiment", "all", "which artifact to regenerate: table1, fig11, fig12, fig13, hedge, filtered, cached, batched, all")
 		events     = flag.Int("events", 0, "update events for table1/fig11 (0 = default scale)")
 		day        = flag.Duration("day", 0, "real duration of fig11's simulated day (0 = default 12s)")
 		duration   = flag.Duration("duration", 0, "measurement window per setting for fig12/fig13 (0 = defaults)")
@@ -60,15 +67,19 @@ func run() error {
 		slowMS     = flag.Int("slow-replica-ms", 0, "hedge: extra latency injected into the slow replica, in ms (0 = default 200)")
 		slowFrac   = flag.Float64("slow-replica-frac", 0, "hedge: fraction of the slow replica's searches delayed (0 = default 0.2)")
 		pqM        = flag.Int("pq-subvectors", 0, "fig12/fig13/hedge: product-quantization code bytes per image (0 = exact float scan, -1 = dimension-derived)")
-		pqRerank   = flag.Int("pq-rerank", 0, "fig12/fig13/hedge: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
+		pqRerank   = flag.Int("pq-rerank", 0, "fig12/fig13/hedge: ADC over-fetch depth re-ranked exactly per query (0 = bit-width default: 20×TopK at 8 bits, 30×TopK at 4)")
 		featStore  = flag.String("feature-store", "", "fig12/fig13/hedge: where searcher shards keep raw feature rows: ram (default, dim×4 heap bytes/image) or mmap (rows in a page-cache-served spill file; RAM holds only the M-byte PQ codes)")
 		spillDir   = flag.String("spill-dir", "", "fig12/fig13/hedge: directory for feature-store spill files with -feature-store mmap (default: OS temp dir)")
 		filterSel  = flag.Float64("filter-selectivity", 0, "filtered: fraction of the corpus one scoped query admits; the catalog gets round(1/selectivity) categories (0 = default 0.01)")
-		zipfS      = flag.Float64("zipf-s", 0, "cached: query skew exponent, must be > 1 (0 = default 1.1)")
-		queryPool  = flag.Int("query-pool", 0, "cached: distinct query images in the zipf-weighted pool (0 = default 512)")
+		zipfS      = flag.Float64("zipf-s", 0, "cached/batched: query skew exponent, must be > 1 (0 = experiment default: 1.1 cached, 2.0 batched)")
+		queryPool  = flag.Int("query-pool", 0, "cached/batched: distinct query images in the zipf-weighted pool (0 = default: 512 cached, 256 batched)")
 		extractW   = flag.Int("extract-work", 0, "cached: simulated CNN cost in extra forward passes per extraction (0 = default 256)")
 		featCache  = flag.Int("feature-cache", 0, "cached: blender feature-cache capacity in vectors (0 = half the query pool)")
 		resCache   = flag.Int("result-cache", 0, "cached: broker result-cache capacity in pages (0 = half the query pool)")
+		threads    = flag.Int("threads", 0, "batched: closed-loop client concurrency (0 = default 16)")
+		pqBits     = flag.Int("pq-bits", 0, "batched: searcher PQ code bit width, 4 or 8 (0 = default 4)")
+		batchWin   = flag.Duration("batch-window", 0, "batched: searcher collection window on the batched side (0 = default 1ms)")
+		batchMax   = flag.Int("batch-max-queries", 0, "batched: queries that close a collection window early (0 = default: three-quarters of -threads)")
 	)
 	flag.Parse()
 
@@ -162,14 +173,31 @@ func run() error {
 				return err
 			}
 			fmt.Println(res.Render())
+		case "batched":
+			res, err := experiments.RunBatched(experiments.BatchedConfig{
+				ZipfS:           *zipfS,
+				Threads:         *threads,
+				Duration:        *duration,
+				Partitions:      *partitions,
+				Products:        *products,
+				QueryPool:       *queryPool,
+				PQBits:          *pqBits,
+				BatchWindow:     *batchWin,
+				BatchMaxQueries: *batchMax,
+				Seed:            *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
 		default:
-			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, hedge, filtered, cached, all)", name)
+			return fmt.Errorf("unknown experiment %q (want table1, fig11, fig12, fig13, hedge, filtered, cached, batched, all)", name)
 		}
 		return nil
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig11", "fig12", "fig13", "hedge", "filtered", "cached"} {
+		for _, name := range []string{"table1", "fig11", "fig12", "fig13", "hedge", "filtered", "cached", "batched"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

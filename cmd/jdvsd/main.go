@@ -56,7 +56,10 @@ func run() error {
 		workers   = flag.Int("search-workers", 0, "searcher: goroutines scanning probed lists per query (0 = GOMAXPROCS-derived, 1 = serial)")
 		loadIdle  = flag.Duration("load-idle-timeout", 0, "searcher: abort an inbound snapshot stream idle longer than this (0 = default)")
 		pqM       = flag.Int("pq-subvectors", 0, "searcher: product-quantization code bytes per image (must divide -dim; 0 = exact float scan, -1 = dimension-derived default)")
-		pqRerank  = flag.Int("pq-rerank", 0, "searcher: ADC over-fetch depth re-ranked exactly per query (0 = 10×TopK)")
+		pqRerank  = flag.Int("pq-rerank", 0, "searcher: ADC over-fetch depth re-ranked exactly per query (0 = bit-width default: 20×TopK at 8 bits, 30×TopK at 4)")
+		pqBits    = flag.Int("pq-bits", 0, "searcher: PQ code bit width: 8 (default) = one code byte per subvector, 4 = two 16-centroid subvectors packed per byte, scanned through the blocked fast-scan kernel at half the code memory")
+		batchWin  = flag.Duration("batch-window", 0, "searcher: collect concurrent searches arriving within this window into one batched index pass (0 = disabled; adds up to the window to a lone query's latency)")
+		batchMax  = flag.Int("batch-max-queries", 0, "searcher: cap on one search batch; a full window executes immediately (0 = default 16)")
 		filterNP  = flag.Int("filter-max-nprobe", 0, "searcher: cap on the adaptive probe widening for filtered queries (0 = 8× the base width, clamped to -nlists; set to -nlists to let very selective filters scan every list)")
 		filterRK  = flag.Int("filter-max-rerank", 0, "searcher: cap on the matching ADC re-rank widening for filtered queries (0 = 4× the unfiltered depth)")
 		pqSample  = flag.Int("pq-train-sample", 10000, "searcher: stored rows used to train PQ when the snapshot carries no codes")
@@ -82,7 +85,7 @@ func run() error {
 		}
 		shard, err := index.New(index.Config{
 			Dim: *dim, NLists: *nlists, ListInitialCap: *listCap, DefaultNProbe: *nprobe,
-			PQSubvectors: *pqM, RerankK: *pqRerank,
+			PQSubvectors: *pqM, PQBits: *pqBits, RerankK: *pqRerank,
 			FilterMaxNProbe: *filterNP, FilterMaxRerankK: *filterRK,
 			FeatureStore: *featStore, SpillDir: *spillDir,
 		})
@@ -112,6 +115,8 @@ func run() error {
 			Addr:            *addr,
 			SearchWorkers:   *workers,
 			LoadIdleTimeout: *loadIdle,
+			BatchWindow:     *batchWin,
+			BatchMaxQueries: *batchMax,
 		})
 		if err != nil {
 			return err
@@ -120,7 +125,8 @@ func run() error {
 		st := shard.Stats()
 		scanPath := "exact scan"
 		if shard.PQEnabled() {
-			scanPath = fmt.Sprintf("ADC scan, %d-byte codes", shard.PQCodebook().M)
+			cb := shard.PQCodebook()
+			scanPath = fmt.Sprintf("ADC scan, %d-bit PQ, %d-byte codes", st.PQBits, cb.CodeBytes())
 		}
 		fmt.Printf("searcher partition %d serving %d images (%d valid, %s, %s feature store, %.1f MiB feature heap) on %s\n",
 			*partition, st.Images, st.ValidImages, scanPath, shard.Config().FeatureStore,

@@ -76,6 +76,18 @@ type Config struct {
 	// 10×TopK).
 	PQSubvectors int
 	RerankK      int
+	// PQBits selects the searchers' PQ code bit width
+	// (index.Config.PQBits): 8 (default) keeps byte codes, 4 packs two
+	// 16-centroid subquantizers per byte and scans them through the
+	// blocked fast-scan kernel — half the code memory per image at a
+	// deeper default re-rank. Only meaningful with PQSubvectors set.
+	PQBits int
+	// BatchWindow / BatchMaxQueries enable batched query execution on
+	// every searcher (searcher.Config fields of the same names):
+	// concurrent searches arriving within the window run as one
+	// SearchBatch pass over the shard. Zero window disables batching.
+	BatchWindow     time.Duration
+	BatchMaxQueries int
 	// FilterMaxNProbe / FilterMaxRerankK cap the adaptive widening the
 	// searchers apply to filtered queries (category scope or price/sales
 	// predicates): a selective filter raises nprobe — and the ADC re-rank
@@ -255,6 +267,7 @@ func Start(cfg Config) (*Cluster, error) {
 			DefaultNProbe:    cfg.DefaultNProbe,
 			SearchWorkers:    cfg.SearchWorkers,
 			PQSubvectors:     cfg.PQSubvectors,
+			PQBits:           cfg.PQBits,
 			RerankK:          cfg.RerankK,
 			FilterMaxNProbe:  cfg.FilterMaxNProbe,
 			FilterMaxRerankK: cfg.FilterMaxRerankK,
@@ -308,12 +321,14 @@ func (c *Cluster) startTiers(shards []*index.Shard) error {
 				onApplied = cfg.OnApplied
 			}
 			scfg := searcher.Config{
-				Partition:   core.PartitionID(p),
-				Shard:       shard,
-				Resolver:    c.resolver,
-				Queue:       queue,
-				StartOffset: startOffset,
-				OnApplied:   onApplied,
+				Partition:       core.PartitionID(p),
+				Shard:           shard,
+				Resolver:        c.resolver,
+				Queue:           queue,
+				StartOffset:     startOffset,
+				OnApplied:       onApplied,
+				BatchWindow:     cfg.BatchWindow,
+				BatchMaxQueries: cfg.BatchMaxQueries,
 			}
 			if r == cfg.Replicas-1 {
 				// Fault injection targets the last replica of each
@@ -554,6 +569,7 @@ func (c *Cluster) Reindex() error {
 			DefaultNProbe:    c.cfg.DefaultNProbe,
 			SearchWorkers:    c.cfg.SearchWorkers,
 			PQSubvectors:     c.cfg.PQSubvectors,
+			PQBits:           c.cfg.PQBits,
 			RerankK:          c.cfg.RerankK,
 			FilterMaxNProbe:  c.cfg.FilterMaxNProbe,
 			FilterMaxRerankK: c.cfg.FilterMaxRerankK,

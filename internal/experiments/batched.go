@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"jdvs/internal/catalog"
+	"jdvs/internal/cluster"
+	"jdvs/internal/core"
+	"jdvs/internal/search/client"
+	"jdvs/internal/workload"
+)
+
+// BatchedConfig parameterises the batched-execution workload: the same
+// zipf-skewed concurrent query stream run against two otherwise identical
+// PQ clusters — one answering every searcher query alone, one collecting
+// concurrent queries into windows and executing them through
+// index.SearchBatch. Under skewed e-commerce traffic the collector's
+// batches carry overlapping probe sets and outright duplicate hot
+// queries, which is the work a batched scan amortises: one pass over each
+// probed list's code blocks and one scan per distinct query. The searcher
+// scan — the subject — is made to dominate the closed loop the way it does
+// at production corpus sizes: extraction is pinned cheap (ExtractWork 1),
+// the blender feature cache is enabled on BOTH sides (warmed by the
+// replay pass, so query-side CNN cost drops out of the comparison — it is
+// the cached experiment's subject), and the corpus/probe width are sized
+// so list scanning is most of each query's cost.
+type BatchedConfig struct {
+	// ZipfS is the query skew exponent (default 2.0; must be > 1 to skew).
+	// The default models burst-hour hero-image traffic — the hottest query
+	// image draws roughly half the stream — which is the regime the
+	// collector is for; milder skew shrinks the overlap a window collects
+	// and the speedup with it.
+	ZipfS float64
+	// Threads is the client concurrency (default 16: window size scales
+	// with the clients concurrently waiting, and the win scales with the
+	// duplicates a window holds, so thin concurrency understates batching
+	// the same way thin skew does).
+	Threads int
+	// Duration is the measurement window per side (default 2s).
+	Duration time.Duration
+	// Cluster sizing (defaults 1 / 1 / 1 / 40,000). One partition keeps
+	// the whole corpus under a single searcher — the component whose batch
+	// collector is under test — instead of splitting the scan cost across
+	// fan-out plumbing.
+	Partitions, Brokers, Blenders, Products int
+	// QueryPool is the number of distinct query images (default 256).
+	QueryPool int
+	// NProbe is the probe width each query carries (default 32 of the 64
+	// inverted lists, so list scanning is the dominant per-query cost
+	// whichever lists the seed's hot queries land in).
+	NProbe int
+	// PQBits selects the searchers' code bit width (default 4 — the
+	// fast-scan path batching was built around; 8 exercises the byte-code
+	// batch path).
+	PQBits int
+	// BatchWindow / BatchMaxQueries shape the batched side's collector
+	// (defaults 1ms / three-quarters of Threads — at any instant some
+	// clients are in the extraction or merge stages of their previous
+	// query, so a window that waits for every client to arrive mostly
+	// waits out its timer). The unbatched side runs with the window unset.
+	BatchWindow     time.Duration
+	BatchMaxQueries int
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c *BatchedConfig) fill() {
+	if c.ZipfS <= 1 {
+		c.ZipfS = 2.0
+	}
+	if c.Threads <= 0 {
+		c.Threads = 16
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.Brokers <= 0 {
+		c.Brokers = 1
+	}
+	if c.Blenders <= 0 {
+		c.Blenders = 1
+	}
+	if c.Products <= 0 {
+		c.Products = 40_000
+	}
+	if c.QueryPool <= 0 {
+		c.QueryPool = 256
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = 32
+	}
+	if c.PQBits <= 0 {
+		c.PQBits = 4
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.BatchMaxQueries <= 0 {
+		c.BatchMaxQueries = c.Threads * 3 / 4
+		if c.BatchMaxQueries < 2 {
+			c.BatchMaxQueries = 2
+		}
+	}
+}
+
+// BatchedSide is one side's measurement.
+type BatchedSide struct {
+	Batched bool
+	QPS     float64
+	Mean    time.Duration
+	P50     time.Duration
+	P99     time.Duration
+	Queries int64
+	Errors  int64
+}
+
+// BatchedResult carries both sides plus the result-equality audit: every
+// pool query replayed once on each side and compared hit for hit.
+type BatchedResult struct {
+	Config     BatchedConfig
+	Unbatched  BatchedSide
+	Batched    BatchedSide
+	Replayed   int
+	Mismatches int
+}
+
+// Speedup is the closed-loop QPS ratio batched / unbatched.
+func (r *BatchedResult) Speedup() float64 {
+	if r.Unbatched.QPS <= 0 {
+		return 0
+	}
+	return r.Batched.QPS / r.Unbatched.QPS
+}
+
+// RunBatched executes the experiment.
+func RunBatched(cfg BatchedConfig) (*BatchedResult, error) {
+	cfg.fill()
+	res := &BatchedResult{Config: cfg}
+	// Per-query responses from each side's replay pass, compared after
+	// both sides run: the two clusters are built from the same seed, so a
+	// correct batched path answers every query identically.
+	var pages [2][]*core.SearchResponse
+	for _, batched := range []bool{false, true} {
+		side, replayed, err := runBatchedSide(cfg, batched)
+		if err != nil {
+			return nil, err
+		}
+		if batched {
+			res.Batched = *side
+			pages[1] = replayed
+		} else {
+			res.Unbatched = *side
+			pages[0] = replayed
+		}
+	}
+	res.Replayed = len(pages[0])
+	for i := range pages[0] {
+		if !samePage(pages[0][i], pages[1][i]) {
+			res.Mismatches++
+		}
+	}
+	return res, nil
+}
+
+func runBatchedSide(cfg BatchedConfig, batched bool) (*BatchedSide, []*core.SearchResponse, error) {
+	ccfg := cluster.Config{
+		Partitions:   cfg.Partitions,
+		Brokers:      cfg.Brokers,
+		Blenders:     cfg.Blenders,
+		NLists:       64,
+		PQSubvectors: 16,
+		PQBits:       cfg.PQBits,
+		ExtractWork:  1,
+		// Both sides get the feature cache, sized to the whole pool and
+		// warmed by the replay pass: the comparison isolates the searcher
+		// collector, not the query-side CNN.
+		FeatureCacheSize: cfg.QueryPool,
+		Catalog: catalog.Config{
+			Products:   cfg.Products,
+			Categories: 8,
+			Seed:       cfg.Seed,
+		},
+	}
+	if batched {
+		ccfg.BatchWindow = cfg.BatchWindow
+		ccfg.BatchMaxQueries = cfg.BatchMaxQueries
+	}
+	c, err := cluster.Start(ccfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batched (batched=%v): %w", batched, err)
+	}
+	defer c.Close()
+
+	blobs := workload.MakeQueryBlobs(c.Catalog, cfg.QueryPool, cfg.Seed)
+
+	// Replay every pool query once, sequentially, for the equality audit.
+	// On the batched side each of these runs as a lone single-query batch.
+	// The pass doubles as the feature-cache warmup on both sides.
+	replayed, err := replayPool(c.FrontendAddr(), blobs, cfg.NProbe)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batched replay (batched=%v): %w", batched, err)
+	}
+
+	lr, err := workload.RunQueryLoad(workload.QueryLoadConfig{
+		Addr:        c.FrontendAddr(),
+		Concurrency: cfg.Threads,
+		Duration:    cfg.Duration,
+		TopK:        10,
+		NProbe:      cfg.NProbe,
+		Blobs:       blobs,
+		ZipfS:       cfg.ZipfS,
+		Seed:        cfg.Seed,
+	}, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batched load (batched=%v): %w", batched, err)
+	}
+	return &BatchedSide{
+		Batched: batched,
+		QPS:     lr.QPS,
+		Mean:    lr.Latency.Mean(),
+		P50:     lr.Latency.Percentile(50),
+		P99:     lr.Latency.Percentile(99),
+		Queries: lr.Queries,
+		Errors:  lr.Errors,
+	}, replayed, nil
+}
+
+func replayPool(addr string, blobs [][]byte, nprobe int) ([]*core.SearchResponse, error) {
+	cl, err := client.Dial(addr, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	out := make([]*core.SearchResponse, len(blobs))
+	for i, blob := range blobs {
+		resp, err := cl.Query(ctx, &core.QueryRequest{
+			ImageBlob:     blob,
+			TopK:          10,
+			NProbe:        nprobe,
+			CategoryScope: core.AllCategories,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pool query %d: %w", i, err)
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// samePage reports whether two result pages agree hit for hit on identity,
+// distance and ranking score.
+func samePage(a, b *core.SearchResponse) bool {
+	if len(a.Hits) != len(b.Hits) {
+		return false
+	}
+	for i := range a.Hits {
+		ha, hb := &a.Hits[i], &b.Hits[i]
+		if ha.ProductID != hb.ProductID || ha.URL != hb.URL ||
+			ha.Dist != hb.Dist || ha.Score != hb.Score {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the comparison table.
+func (r *BatchedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Batched query execution under zipf-skewed concurrency (s=%.2f, pool %d, %d clients, %d-bit PQ, window %s, max %d)\n\n",
+		r.Config.ZipfS, r.Config.QueryPool, r.Config.Threads, r.Config.PQBits,
+		r.Config.BatchWindow, r.Config.BatchMaxQueries)
+	row(&b, "mode", "QPS", "mean", "p50", "p99", "queries", "errors")
+	for _, s := range []*BatchedSide{&r.Unbatched, &r.Batched} {
+		mode := "unbatched"
+		if s.Batched {
+			mode = "batched"
+		}
+		row(&b, mode, fmt.Sprintf("%.0f", s.QPS), fmtDur(s.Mean), fmtDur(s.P50), fmtDur(s.P99), s.Queries, s.Errors)
+	}
+	fmt.Fprintf(&b, "\nper-query results: %d replayed, %d mismatched\n", r.Replayed, r.Mismatches)
+	fmt.Fprintf(&b, "closed-loop speedup: %.2fx\n", r.Speedup())
+	return b.String()
+}

@@ -240,3 +240,36 @@ func TestRunHedgeSmallScale(t *testing.T) {
 		}
 	}
 }
+
+func TestRunBatchedSmallScale(t *testing.T) {
+	res, err := RunBatched(BatchedConfig{
+		Duration:  400 * time.Millisecond,
+		Threads:   4,
+		Products:  300,
+		QueryPool: 32,
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatalf("RunBatched: %v", err)
+	}
+	if res.Unbatched.QPS <= 0 || res.Batched.QPS <= 0 {
+		t.Fatalf("no load measured: %+v", res)
+	}
+	if res.Unbatched.Errors != 0 || res.Batched.Errors != 0 {
+		t.Fatalf("query errors: unbatched %d, batched %d", res.Unbatched.Errors, res.Batched.Errors)
+	}
+	// The equality audit is the experiment's correctness half: at any
+	// scale, both sides must answer every pool query identically.
+	if res.Replayed != 32 {
+		t.Fatalf("replayed %d pool queries, want 32", res.Replayed)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d of %d replayed queries mismatched between sides", res.Mismatches, res.Replayed)
+	}
+	out := res.Render()
+	for _, want := range []string{"Batched query execution", "unbatched", "replayed, 0 mismatched", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

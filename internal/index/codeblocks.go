@@ -1,0 +1,163 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"jdvs/internal/pq"
+)
+
+// codeBlocks is one inverted list's packed 4-bit PQ codes in the fast-scan
+// blocked layout (pq/kernel_generic.go): codes live in groups of
+// pq.BlockCodes, interleaved by packed-byte lane, so a scan streams whole
+// blocks through pq.ScanBlock4 instead of chasing per-candidate code rows.
+// Unlike the 8-bit codeMat — which is keyed by image ID — this storage is
+// keyed by *list position*: slot i holds the code of the i-th id the
+// owning inverted list yields, which is what lets the scan pair a block of
+// distances with a block of ids without any id→code indirection. The
+// single real-time writer appends a code here *before* the matching
+// inverted-list append publishes the id (appendRow), so every scannable id
+// has a committed code at its slot.
+//
+// Lock-free reader contract, same shape as chunkMat: bytes are written
+// into chunk storage first, then the length counter publishes the slot.
+// Readers load the length before the chunk directory and only touch bytes
+// of published slots — full blocks through the gather kernel, the
+// partially filled tail block through the per-slot scalar path, which
+// reads only lane bytes of slots below the loaded length. Chunks are
+// append-only and never moved, so a reader's directory snapshot stays
+// valid for the whole scan.
+type codeBlocks struct {
+	mb     int // packed bytes per code (M/2)
+	dir    atomic.Pointer[[][]byte]
+	length atomic.Uint32
+}
+
+// blocksPerChunk sizes codeBlocks chunks: 32 blocks = 1024 codes,
+// 1024×mb bytes per chunk (8 KiB at mb=8). Chunks are per inverted list,
+// so they are kept small enough that the rounding slack across many
+// lists stays well below the code bytes themselves — otherwise the
+// 4-bit mode's halved code memory would be eaten by chunk padding.
+const blocksPerChunk = 32
+
+func newCodeBlocks(mb int) *codeBlocks {
+	cb := &codeBlocks{mb: mb}
+	dir := [][]byte{}
+	cb.dir.Store(&dir)
+	return cb
+}
+
+// published returns the number of committed codes.
+func (cb *codeBlocks) published() uint32 { return cb.length.Load() }
+
+// block returns the mb×BlockCodes bytes of block b. The caller must only
+// read lane bytes of slots it observed as published.
+func (cb *codeBlocks) block(b int) []byte {
+	chunks := *cb.dir.Load()
+	base := (b % blocksPerChunk) * cb.mb * pq.BlockCodes
+	return chunks[b/blocksPerChunk][base : base+cb.mb*pq.BlockCodes]
+}
+
+// append commits one packed code (mb bytes) at the next slot. Single
+// writer only. The slot's lane bytes are written before the length store
+// publishes them, and a fresh chunk's directory publishes before the
+// length does, so a reader that observes the new length also observes the
+// chunk and the bytes.
+func (cb *codeBlocks) append(code []byte) {
+	i := cb.length.Load()
+	b := int(i) / pq.BlockCodes
+	chunks := *cb.dir.Load()
+	if ci := b / blocksPerChunk; ci >= len(chunks) {
+		next := make([][]byte, ci+1)
+		copy(next, chunks)
+		for j := len(chunks); j <= ci; j++ {
+			next[j] = make([]byte, blocksPerChunk*pq.BlockCodes*cb.mb)
+		}
+		cb.dir.Store(&next)
+		chunks = next
+	}
+	base := (b % blocksPerChunk) * cb.mb * pq.BlockCodes
+	blk := chunks[b/blocksPerChunk][base : base+cb.mb*pq.BlockCodes]
+	slot := int(i) % pq.BlockCodes
+	for j := 0; j < cb.mb; j++ {
+		blk[j*pq.BlockCodes+slot] = code[j]
+	}
+	cb.length.Store(i + 1) // publish
+}
+
+// extract copies the packed code at slot (which must be published) into
+// out (mb bytes) — the de-interleaving inverse of append, used by the
+// snapshot writer.
+func (cb *codeBlocks) extract(slot uint32, out []byte) {
+	blk := cb.block(int(slot) / pq.BlockCodes)
+	s := int(slot) % pq.BlockCodes
+	for j := 0; j < cb.mb; j++ {
+		out[j] = blk[j*pq.BlockCodes+s]
+	}
+}
+
+// heapBytes reports chunk storage held (chunk-rounded).
+func (cb *codeBlocks) heapBytes() int64 {
+	n := int64(0)
+	for _, c := range *cb.dir.Load() {
+		n += int64(len(c))
+	}
+	return n
+}
+
+// writeCodeBlockLists serialises every list's packed codes, de-interleaved
+// to the portable per-code layout: [4B nlists] then per list
+// [4B count][count×mb bytes]. The blocked interleaving is rebuilt on load,
+// so the wire format stays independent of pq.BlockCodes.
+func writeCodeBlockLists(w io.Writer, lists []*codeBlocks, mb int) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(lists)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 4+blocksPerChunk*pq.BlockCodes*mb)
+	for _, cb := range lists {
+		n := cb.published()
+		buf = binary.LittleEndian.AppendUint32(buf[:0], n)
+		for i := uint32(0); i < n; i++ {
+			at := len(buf)
+			buf = append(buf, make([]byte, mb)...)
+			cb.extract(i, buf[at:at+mb])
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCodeBlockLists deserialises writeCodeBlockLists output into fresh
+// per-list block storage.
+func readCodeBlockLists(r io.Reader, nlists, mb int) ([]*codeBlocks, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[:])); got != nlists {
+		return nil, fmt.Errorf("index: snapshot pq code lists %d, shard NLists %d", got, nlists)
+	}
+	lists := make([]*codeBlocks, nlists)
+	code := make([]byte, mb)
+	for l := range lists {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		cb := newCodeBlocks(mb)
+		for i := uint32(0); i < n; i++ {
+			if _, err := io.ReadFull(r, code); err != nil {
+				return nil, err
+			}
+			cb.append(code)
+		}
+		lists[l] = cb
+	}
+	return lists, nil
+}

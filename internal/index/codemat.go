@@ -23,6 +23,15 @@ func newCodeMat(m int) *codeMat {
 	return c
 }
 
+// heapBytes reports chunk storage held (chunk-rounded).
+func (c *codeMat) heapBytes() int64 {
+	var n int64
+	for _, ch := range *c.dir.Load() {
+		n += int64(len(ch.rows))
+	}
+	return n
+}
+
 // writeTo serialises the matrix: [4B m][4B rows][rows×m bytes].
 func (c *codeMat) writeTo(w io.Writer) (int64, error) {
 	var written int64

@@ -60,18 +60,28 @@ type Config struct {
 	// the single real-time writer mutates the shard.
 	SearchWorkers int
 	// PQSubvectors configures the product-quantized ADC scan path: the
-	// number of subquantizers M (code bytes per image); must divide Dim.
-	// 0 disables PQ training; negative picks a dimension-derived default
-	// (pq.DefaultSubvectors). Note the scan path itself follows the
-	// installed codebook, not this knob: a shard only scans ADC codes once
-	// TrainPQ/SetPQCodebook has run (or a PQ-bearing snapshot loaded), and
-	// falls back to the exact float scan until then.
+	// number of subquantizers M; must divide Dim. 0 disables PQ training;
+	// negative picks a dimension-derived default (pq.DefaultSubvectors).
+	// Note the scan path itself follows the installed codebook, not this
+	// knob: a shard only scans ADC codes once TrainPQ/SetPQCodebook has
+	// run (or a PQ-bearing snapshot loaded), and falls back to the exact
+	// float scan until then.
 	PQSubvectors int
+	// PQBits selects the centroid index width PQ training uses: 8 (256
+	// centroids per subquantizer, M code bytes per image — the default
+	// when zero) or 4 (16 centroids, two subquantizers packed per byte —
+	// M/2 code bytes per image, scanned through the blocked fast-scan
+	// kernel; requires an even PQSubvectors). Like PQSubvectors this knob
+	// steers training; a loaded snapshot's codebook decides the live scan
+	// path.
+	PQBits int
 	// RerankK is the ADC over-fetch depth: the approximate scan selects
 	// this many candidates, which are then re-ranked exactly against the
-	// raw feature rows before the final top-k. <= 0 derives 10×TopK per
-	// query (recall@10 ≥ 0.98 on clustered synthetic corpora, guarded by
-	// TestPQRecallGuardrail). Clamped to [TopK, MaxTopK].
+	// raw feature rows before the final top-k. <= 0 derives a bit-width
+	// default per query — 20×TopK at 8-bit codes, 30×TopK at 4-bit — from
+	// the measured sweep recorded in docs/OPERATIONS.md (recall@10 ≥ 0.99
+	// on the 100k sweep corpus, guarded by TestPQRecallGuardrail).
+	// Clamped to [TopK, MaxTopK].
 	RerankK int
 	// FilterMaxNProbe caps the adaptive probe widening applied to
 	// filtered queries (category scope or attribute predicates): when the
@@ -152,6 +162,17 @@ func (c *Config) validate() error {
 	if c.PQSubvectors > 0 && c.Dim%c.PQSubvectors != 0 {
 		return fmt.Errorf("index: PQSubvectors %d must divide Dim %d", c.PQSubvectors, c.Dim)
 	}
+	switch c.PQBits {
+	case 0:
+		c.PQBits = 8
+	case 8:
+	case 4:
+		if c.PQSubvectors > 0 && c.PQSubvectors%2 != 0 {
+			return fmt.Errorf("index: PQBits 4 packs two subquantizers per byte; PQSubvectors %d must be even", c.PQSubvectors)
+		}
+	default:
+		return fmt.Errorf("index: PQBits must be 4 or 8, got %d", c.PQBits)
+	}
 	if c.RerankK < 0 {
 		c.RerankK = 0
 	}
@@ -180,11 +201,16 @@ func (c *Config) validate() error {
 
 // Stats is a point-in-time summary of shard state.
 type Stats struct {
-	Images        int // total records ever appended
-	ValidImages   int // images whose validity bit is set
-	Products      int // distinct product IDs seen
-	Lists         int
-	PQCodes       int // PQ-encoded rows (0 when the shard scans exact floats)
+	Images      int // total records ever appended
+	ValidImages int // images whose validity bit is set
+	Products    int // distinct product IDs seen
+	Lists       int
+	PQCodes     int // PQ-encoded rows (0 when the shard scans exact floats)
+	// PQBits is the installed quantizer's centroid index width (8 or 4;
+	// 0 when the shard scans exact floats), and PQCodeBytes the memory its
+	// code storage holds (chunk-rounded) — the number 4-bit mode halves.
+	PQBits        int
+	PQCodeBytes   int64
 	Inserts       int64
 	ReusedInserts int64 // insertions satisfied by flipping validity back on
 	// FeatureRefreshes counts re-listings whose feature vector differed
@@ -337,11 +363,39 @@ func (s *Shard) Codebook() *kmeans.Codebook { return s.codebook }
 func (s *Shard) Trained() bool { return s.codebook != nil }
 
 // shardPQ is the published state of the ADC scan path: the product
-// quantizer and the code matrix it produced, always in lockstep with the
-// feature matrix.
+// quantizer and the code storage it produced, always in lockstep with the
+// feature matrix. 8-bit codebooks fill codes (an ID-keyed matrix, scanned
+// per candidate); 4-bit codebooks fill lists (per-inverted-list blocked
+// fast-scan storage, scanned per 32-code block) — exactly one of the two
+// is non-nil.
 type shardPQ struct {
 	cb    *pq.Codebook
-	codes *codeMat
+	codes *codeMat      // 8-bit: code of image id at row id
+	lists []*codeBlocks // 4-bit: code of a list's i-th entry at slot i
+}
+
+// codeCount returns the number of committed codes.
+func (ps *shardPQ) codeCount() int {
+	if ps.codes != nil {
+		return ps.codes.Len()
+	}
+	n := 0
+	for _, cb := range ps.lists {
+		n += int(cb.published())
+	}
+	return n
+}
+
+// codeHeapBytes returns the memory code storage holds (chunk-rounded).
+func (ps *shardPQ) codeHeapBytes() int64 {
+	if ps.codes != nil {
+		return ps.codes.heapBytes()
+	}
+	n := int64(0)
+	for _, cb := range ps.lists {
+		n += cb.heapBytes()
+	}
+	return n
 }
 
 // TrainPQ fits the product-quantization codebook on the given training
@@ -354,7 +408,7 @@ func (s *Shard) TrainPQ(features []float32, seed int64) error {
 	if s.cfg.PQSubvectors <= 0 {
 		return errors.New("index: PQSubvectors not configured")
 	}
-	cb, err := pq.Train(pq.Config{Dim: s.cfg.Dim, M: s.cfg.PQSubvectors, Seed: seed}, features)
+	cb, err := pq.Train(pq.Config{Dim: s.cfg.Dim, M: s.cfg.PQSubvectors, Bits: s.cfg.PQBits, Seed: seed}, features)
 	if err != nil {
 		return fmt.Errorf("index: train pq: %w", err)
 	}
@@ -401,10 +455,41 @@ func (s *Shard) SetPQCodebook(cb *pq.Codebook) error {
 }
 
 // installPQ backfills codes for every committed feature row and publishes
-// the ADC state.
+// the ADC state. 8-bit codes backfill the ID-keyed matrix in row order;
+// 4-bit codes backfill each inverted list's blocked storage in list order,
+// because a 4-bit slot must match the position of the id the list yields
+// (codeBlocks contract). Writer-context only — the list walk below assumes
+// no concurrent appends.
 func (s *Shard) installPQ(cb *pq.Codebook) error {
 	// Keep the mmap mapping alive across the Row reads (see Search).
 	defer runtime.KeepAlive(s)
+	if cb.Bits == 4 {
+		lists := make([]*codeBlocks, s.cfg.NLists)
+		code := make([]byte, cb.CodeBytes())
+		var encErr error
+		for l := range lists {
+			blocks := newCodeBlocks(cb.CodeBytes())
+			s.inv.Scan(l, func(id uint32) bool {
+				row := s.feats.Row(id)
+				if row == nil {
+					encErr = fmt.Errorf("index: pq backfill: list %d id %d has no feature row", l, id)
+					return false
+				}
+				if err := cb.Encode(row, code); err != nil {
+					encErr = fmt.Errorf("index: pq encode row %d: %w", id, err)
+					return false
+				}
+				blocks.append(code)
+				return true
+			})
+			if encErr != nil {
+				return encErr
+			}
+			lists[l] = blocks
+		}
+		s.pqState.Store(&shardPQ{cb: cb, lists: lists})
+		return nil
+	}
 	codes := newCodeMat(cb.M)
 	n := uint32(s.feats.Len())
 	code := make([]byte, cb.M)
@@ -581,26 +666,37 @@ func (s *Shard) appendRow(attrs core.Attrs, feature []float32) (core.ImageID, er
 	// caller's publish step), so a scoped scan that sees the image as
 	// valid also finds it in its category's bitmap.
 	s.ensureCat(attrs.Category).Set(id)
+	cluster := s.codebook.Assign(feature)
 	if ps := s.pqState.Load(); ps != nil {
-		// Keep the code matrix in lockstep: the row must be committed
-		// before the inverted entry and validity bit make the id
-		// scannable.
-		if cap(s.codeScratch) < ps.cb.M {
-			s.codeScratch = make([]byte, ps.cb.M)
+		// Keep code storage in lockstep: the code must be committed before
+		// the inverted entry and validity bit make the id scannable. The
+		// 4-bit layout is keyed by list position, so its append targets the
+		// id's inverted list and must slot in exactly where inv.Append is
+		// about to place the id.
+		mb := ps.cb.CodeBytes()
+		if cap(s.codeScratch) < mb {
+			s.codeScratch = make([]byte, mb)
 		}
-		code := s.codeScratch[:ps.cb.M]
+		code := s.codeScratch[:mb]
 		if err := ps.cb.Encode(feature, code); err != nil {
 			return 0, fmt.Errorf("index: pq encode: %w", err)
 		}
-		cid, err := ps.codes.Append(code)
-		if err != nil {
-			return 0, fmt.Errorf("index: pq code append: %w", err)
-		}
-		if cid != id {
-			return 0, fmt.Errorf("index: id skew: forward %d, codes %d", id, cid)
+		if ps.codes != nil {
+			cid, err := ps.codes.Append(code)
+			if err != nil {
+				return 0, fmt.Errorf("index: pq code append: %w", err)
+			}
+			if cid != id {
+				return 0, fmt.Errorf("index: id skew: forward %d, codes %d", id, cid)
+			}
+		} else {
+			blocks := ps.lists[cluster]
+			if slot, have := int(blocks.published()), s.inv.ListLen(cluster); slot != have {
+				return 0, fmt.Errorf("index: list %d slot skew: codes %d, inverted %d", cluster, slot, have)
+			}
+			blocks.append(code)
 		}
 	}
-	cluster := s.codebook.Assign(feature)
 	if err := s.inv.Append(cluster, id); err != nil {
 		return 0, fmt.Errorf("index: inverted append: %w", err)
 	}
@@ -1065,13 +1161,31 @@ type searchScratch struct {
 	parts     [][]topk.Item
 	merged    []topk.Item
 	counts    []int
-	lut       []float32   // per-query ADC distance table (PQ path)
+	ids       [][]uint32  // per-worker id snapshots of the blocked 4-bit scan
 	missing   []topk.Item // re-rank candidates whose raw row was unavailable
 	adm       bitmapx.Words
 	admCat    bitmapx.Words
 }
 
 var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// lutPool pools ADC lookup tables separately from searchScratch: the
+// batched path needs one live LUT per batch member — a variable number no
+// single scratch field can serve — and sharing one pool between the
+// single-query and batched paths keeps both allocation-free at steady
+// state (visible in BenchmarkADCScan's allocs/op). Tables are stored as
+// pointers so pool puts don't allocate, and BuildLUT grows a too-small
+// table in place of the pooled slice.
+var lutPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// ensureIDBufs guarantees n per-worker id buffers exist. Must run before
+// scan workers fan out: workers index sc.ids[w] concurrently, so the
+// slice header may not grow under them.
+func (sc *searchScratch) ensureIDBufs(n int) {
+	for len(sc.ids) < n {
+		sc.ids = append(sc.ids, nil)
+	}
+}
 
 // selectors returns n selectors reconfigured for capacity k.
 func (sc *searchScratch) selectors(n, k int) []*topk.Selector {
@@ -1183,10 +1297,17 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 		items = sc.merged
 	}
 
+	return s.assembleResponse(items, scanned, len(lists)), nil
+}
+
+// assembleResponse joins the final ranked items with their forward-index
+// attributes — the shared last step of Search and SearchBatch, so batched
+// responses match unbatched ones field for field.
+func (s *Shard) assembleResponse(items []topk.Item, scanned, probed int) *core.SearchResponse {
 	resp := &core.SearchResponse{
 		Hits:    make([]core.Hit, 0, len(items)),
 		Scanned: scanned,
-		Probed:  len(lists),
+		Probed:  probed,
 	}
 	for _, it := range items {
 		id := uint32(it.ID)
@@ -1205,7 +1326,7 @@ func (s *Shard) Search(req *core.SearchRequest) (*core.SearchResponse, error) {
 			URL:        a.URL,
 		})
 	}
-	return resp, nil
+	return resp
 }
 
 // scanLists scans every probed list whose index ≡ start (mod stride),
@@ -1239,9 +1360,32 @@ func (s *Shard) scanLists(req *core.SearchRequest, lists []int, start, stride in
 	return scanned
 }
 
-// rerankDepth derives the ADC over-fetch depth for one query.
-func (s *Shard) rerankDepth(k int) int {
-	r := 10 * k
+// Per-bit-width default ADC over-fetch multipliers (RerankK = mul×TopK
+// when the knob is unset), from the measured sweep on the 100k image /
+// dim 64 / nprobe 8 corpus of ~195-image near-duplicate motifs recorded
+// in docs/OPERATIONS.md (re-run: JDVS_RERANK_SWEEP=1 go test
+// ./internal/index/ -run TestRerankSweep -v). The sweep's finding: at
+// production corpus-to-codebook ratios the depth that matters is the one
+// that covers the query's near-duplicate group — both widths climb the
+// same curve and pass recall@10 0.99 at mul=20 (8-bit 0.9915, 4-bit
+// 0.9930), saturating at 1.0 by mul=30. 8-bit defaults to that knee; the
+// 16-centroid 4-bit quantizer gets the full-saturation depth as margin
+// for corpora fine-grained enough for codebook resolution to matter —
+// which its cheaper scan more than pays for (610µs/query vs the 8-bit
+// default's 963µs on the sweep corpus).
+const (
+	defaultRerankMul8 = 20
+	defaultRerankMul4 = 30
+)
+
+// rerankDepth derives the ADC over-fetch depth for one query under the
+// installed quantizer's bit width.
+func (s *Shard) rerankDepth(k, bits int) int {
+	mul := defaultRerankMul8
+	if bits == 4 {
+		mul = defaultRerankMul4
+	}
+	r := mul * k
 	if s.cfg.RerankK > 0 {
 		r = s.cfg.RerankK
 	}
@@ -1302,14 +1446,33 @@ func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, 
 	// Dimensions were validated against the shard config, and the codebook
 	// was validated against the shard at install time, so BuildLUT cannot
 	// fail here.
-	sc.lut, _ = ps.cb.BuildLUT(req.Feature, sc.lut)
-	rerankK := s.widenRerank(s.rerankDepth(k), rerankBoost)
-	scanned := s.scanStriped(workers, rerankK, sc, func(start, stride int, sel *topk.Selector) int {
-		return s.scanListsADC(req, lists, start, stride, sel, ps, sc.lut, adm)
-	})
+	lutp := lutPool.Get().(*[]float32)
+	defer lutPool.Put(lutp)
+	*lutp, _ = ps.cb.BuildLUT(req.Feature, *lutp)
+	lut := *lutp
+	rerankK := s.widenRerank(s.rerankDepth(k, ps.cb.Bits), rerankBoost)
+	var scanned int
+	if ps.lists != nil {
+		sc.ensureIDBufs(workers)
+		scanned = s.scanStriped(workers, rerankK, sc, func(start, stride int, sel *topk.Selector) int {
+			return s.scanListsADC4(lists, start, stride, sel, ps, lut, adm, sc)
+		})
+	} else {
+		scanned = s.scanStriped(workers, rerankK, sc, func(start, stride int, sel *topk.Selector) int {
+			return s.scanListsADC(req, lists, start, stride, sel, ps, lut, adm)
+		})
+	}
+	return s.rerankExact(req, k, sc, adm), scanned
+}
 
-	// Exact re-rank: the candidates are safely copied into sc.merged, so
-	// the pooled selectors can be reconfigured for the final top-k.
+// rerankExact re-ranks the ADC-selected candidates in sc.merged exactly
+// against the raw feature rows and returns the final top k — the shared
+// last stage of the single-query and batched ADC paths.
+func (s *Shard) rerankExact(req *core.SearchRequest, k int, sc *searchScratch, adm *admission) []topk.Item {
+	// Raw row reads below; keep the mmap mapping alive (see Search).
+	defer runtime.KeepAlive(s)
+	// The candidates are safely copied into sc.merged, so the pooled
+	// selectors can be reconfigured for the final top-k.
 	sel := sc.selectors(1, k)[0]
 	ranked := 0
 	missing := sc.missing[:0]
@@ -1348,7 +1511,7 @@ func (s *Shard) searchADC(req *core.SearchRequest, lists []int, workers, k int, 
 		}
 	}
 	sc.missing = missing[:0]
-	return sel.Sorted(), scanned
+	return sel.Sorted()
 }
 
 // scanListsADC is scanLists scoring PQ codes through the query's lookup
@@ -1374,6 +1537,74 @@ func (s *Shard) scanListsADC(req *core.SearchRequest, lists []int, start, stride
 	return scanned
 }
 
+// scanListsADC4 is the 4-bit fast-scan list walk: snapshot the list's
+// published ids (insertion order, which by the codeBlocks contract is
+// slot order), stream its full code blocks through the gather kernel, and
+// score the partially filled tail block per slot. Distances come first
+// and admission second — the reverse of the 8-bit path — because the
+// blocked kernel scores 32 candidates in one sweep for less than the cost
+// of 32 admission reads, and the current-worst threshold then discards
+// most candidates before any admission word is touched. The scanned count
+// is therefore "codes scored" (every published code in the probed lists),
+// not "candidates admitted" as on the 8-bit path; the batched path counts
+// identically, so batched and unbatched responses match field for field.
+//
+// The slice of per-worker id buffers is indexed by start: scanStriped
+// hands worker w the stripe starting at w (and 0 on the serial path), and
+// sc.ensureIDBufs ran before the fan-out.
+func (s *Shard) scanListsADC4(lists []int, start, stride int, sel *topk.Selector, ps *shardPQ, lut []float32, adm *admission, sc *searchScratch) int {
+	mb := ps.cb.CodeBytes()
+	var dists [pq.BlockCodes]float32
+	ids := sc.ids[start][:0]
+	scanned := 0
+	for i := start; i < len(lists); i += stride {
+		l := lists[i]
+		ids = ids[:0]
+		s.inv.Scan(l, func(id uint32) bool { ids = append(ids, id); return true })
+		scanned += len(ids)
+		blocks := ps.lists[l]
+		full := len(ids) / pq.BlockCodes
+		for b := 0; b < full; b++ {
+			pq.ScanBlock4(lut, blocks.block(b), mb, &dists)
+			worst, bounded := sel.WorstDist()
+			base := b * pq.BlockCodes
+			for sl, d := range dists {
+				// Skipping on d > worst never changes the result — the
+				// selector would reject the push — it only skips the
+				// admission read, so batched/unbatched/serial/parallel
+				// scans still select identical candidates.
+				if bounded && d > worst {
+					continue
+				}
+				id := ids[base+sl]
+				if !adm.admit(id) {
+					continue
+				}
+				if sel.Push(uint64(id), d) {
+					worst, bounded = sel.WorstDist()
+				}
+			}
+		}
+		if tail := len(ids) % pq.BlockCodes; tail > 0 {
+			// The tail block has unpublished slots whose lane bytes the
+			// writer may still be filling; the per-slot scalar path reads
+			// only published slots' bytes (bit-identical to the kernel).
+			blk := blocks.block(full)
+			base := full * pq.BlockCodes
+			for sl := 0; sl < tail; sl++ {
+				d := pq.ADCDistBlockSlot(lut, blk, mb, sl)
+				id := ids[base+sl]
+				if !adm.admit(id) {
+					continue
+				}
+				sel.Push(uint64(id), d)
+			}
+		}
+	}
+	sc.ids[start] = ids
+	return scanned
+}
+
 // Stats returns a snapshot of shard counters.
 func (s *Shard) Stats() Stats {
 	s.statsMu.Lock()
@@ -1385,7 +1616,12 @@ func (s *Shard) Stats() Stats {
 	st.Lists = s.inv.Lists()
 	st.FeatureHeapBytes = s.feats.heapBytes()
 	if ps := s.pqState.Load(); ps != nil {
-		st.PQCodes = ps.codes.Len()
+		st.PQCodes = ps.codeCount()
+		st.PQBits = 8
+		if ps.cb.Bits == 4 {
+			st.PQBits = 4
+		}
+		st.PQCodeBytes = ps.codeHeapBytes()
 	}
 	s.tabMu.RLock()
 	st.Products = len(s.byProduct)
@@ -1401,13 +1637,19 @@ func (s *Shard) bump(fn func(*Stats)) {
 
 // snapshot format identifiers. Version 1 ends after the feature matrix;
 // version 2 adds an 8-byte covered queue offset after the version byte and
-// a trailing PQ section ([1B present] + PQ codebook + code matrix). Version
-// 1 streams still load — they simply install no quantizer, and the shard
-// serves the exact float path until TrainPQ/TrainPQStored re-encodes it.
+// a trailing PQ section ([1B present] + PQ codebook + code matrix);
+// version 3 inserts a bit-width byte after the present flag ([1B present]
+// [1B bits] + codebook + codes) so 4-bit quantizers serialise — 8-bit
+// codes keep the v2 code-matrix layout, 4-bit codes serialise per
+// inverted list (writeCodeBlockLists). Older streams still load: v1
+// installs no quantizer (the shard serves the exact float path until
+// TrainPQ/TrainPQStored re-encodes it) and v2's missing bits byte reads
+// as 8.
 const (
 	snapMagic     = "JDVSSNAP"
 	snapVersionV1 = 1
-	snapVersion   = 2
+	snapVersionV2 = 2
+	snapVersion   = 3
 )
 
 // WriteSnapshot serialises the full shard (covered offset, codebook,
@@ -1450,22 +1692,31 @@ func (s *Shard) WriteSnapshot(w io.Writer) error {
 		}
 		return nil
 	}
-	if _, err := w.Write([]byte{1}); err != nil {
+	bits := byte(8)
+	if ps.cb.Bits == 4 {
+		bits = 4
+	}
+	if _, err := w.Write([]byte{1, bits}); err != nil {
 		return err
 	}
 	if err := writePQCodebook(w, ps.cb); err != nil {
 		return fmt.Errorf("index: snapshot pq codebook: %w", err)
 	}
-	if _, err := ps.codes.writeTo(w); err != nil {
-		return fmt.Errorf("index: snapshot pq codes: %w", err)
+	if ps.codes != nil {
+		if _, err := ps.codes.writeTo(w); err != nil {
+			return fmt.Errorf("index: snapshot pq codes: %w", err)
+		}
+	} else if err := writeCodeBlockLists(w, ps.lists, ps.cb.CodeBytes()); err != nil {
+		return fmt.Errorf("index: snapshot pq code lists: %w", err)
 	}
 	return nil
 }
 
 // LoadSnapshot replaces the shard contents from a WriteSnapshot stream and
 // rebuilds the lookup tables from the forward index. Readers and the
-// writer must be quiesced. Both the current (v2, PQ-bearing) and the
-// legacy v1 layout are accepted.
+// writer must be quiesced. The current v3 layout (bit-width-tagged PQ),
+// the v2 layout (always-8-bit PQ) and the legacy v1 layout are all
+// accepted.
 func (s *Shard) LoadSnapshot(r io.Reader) error {
 	magic := make([]byte, len(snapMagic)+1)
 	if _, err := io.ReadFull(r, magic); err != nil {
@@ -1475,11 +1726,11 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 		return errors.New("index: bad snapshot magic")
 	}
 	version := magic[len(snapMagic)]
-	if version != snapVersionV1 && version != snapVersion {
+	if version != snapVersionV1 && version != snapVersionV2 && version != snapVersion {
 		return fmt.Errorf("index: unsupported snapshot version %d", version)
 	}
 	covered := int64(0)
-	if version >= snapVersion {
+	if version >= snapVersionV2 {
 		var off [8]byte
 		if _, err := io.ReadFull(r, off[:]); err != nil {
 			return fmt.Errorf("index: snapshot covered offset: %w", err)
@@ -1509,27 +1760,62 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 		return fmt.Errorf("index: snapshot features: %w", err)
 	}
 	var fresh *shardPQ
-	if version >= snapVersion {
+	if version >= snapVersionV2 {
 		var flag [1]byte
 		if _, err := io.ReadFull(r, flag[:]); err != nil {
 			return fmt.Errorf("index: snapshot pq flag: %w", err)
 		}
 		if flag[0] == 1 {
-			pcb, err := readPQCodebook(r)
+			// v2 has no bit-width byte: its codes are always 8-bit.
+			bits := 8
+			if version >= snapVersion {
+				var bb [1]byte
+				if _, err := io.ReadFull(r, bb[:]); err != nil {
+					return fmt.Errorf("index: snapshot pq bits: %w", err)
+				}
+				if bb[0] != 4 && bb[0] != 8 {
+					return fmt.Errorf("index: corrupt snapshot pq bits %d", bb[0])
+				}
+				bits = int(bb[0])
+			}
+			pcb, err := readPQCodebook(r, bits)
 			if err != nil {
 				return fmt.Errorf("index: snapshot pq codebook: %w", err)
 			}
 			if pcb.Dim != s.cfg.Dim {
 				return fmt.Errorf("index: snapshot pq dim %d, shard dim %d", pcb.Dim, s.cfg.Dim)
 			}
-			codes := newCodeMat(pcb.M)
-			if _, err := codes.readFrom(r); err != nil {
-				return fmt.Errorf("index: snapshot pq codes: %w", err)
+			if bits == 4 {
+				lists, err := readCodeBlockLists(r, s.cfg.NLists, pcb.CodeBytes())
+				if err != nil {
+					return fmt.Errorf("index: snapshot pq code lists: %w", err)
+				}
+				// Slot alignment is the 4-bit scan's correctness condition:
+				// every list's code count must match its inverted length,
+				// and (with each row in exactly one list) the total must
+				// match the feature rows, mirroring the 8-bit row check.
+				total := 0
+				for l, cb := range lists {
+					if int(cb.published()) != s.inv.ListLen(l) {
+						return fmt.Errorf("index: snapshot pq list %d has %d codes, inverted %d entries",
+							l, cb.published(), s.inv.ListLen(l))
+					}
+					total += int(cb.published())
+				}
+				if total != s.feats.Len() {
+					return fmt.Errorf("index: snapshot pq codes %d, features %d", total, s.feats.Len())
+				}
+				fresh = &shardPQ{cb: pcb, lists: lists}
+			} else {
+				codes := newCodeMat(pcb.M)
+				if _, err := codes.readFrom(r); err != nil {
+					return fmt.Errorf("index: snapshot pq codes: %w", err)
+				}
+				if codes.Len() != s.feats.Len() {
+					return fmt.Errorf("index: snapshot pq codes %d rows, features %d", codes.Len(), s.feats.Len())
+				}
+				fresh = &shardPQ{cb: pcb, codes: codes}
 			}
-			if codes.Len() != s.feats.Len() {
-				return fmt.Errorf("index: snapshot pq codes %d rows, features %d", codes.Len(), s.feats.Len())
-			}
-			fresh = &shardPQ{cb: pcb, codes: codes}
 		} else if flag[0] != 0 {
 			return fmt.Errorf("index: corrupt snapshot pq flag %d", flag[0])
 		}

@@ -86,12 +86,16 @@ func BenchmarkSearchWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkADCScan pits the product-quantized scan path against the exact
-// float scan over the same corpus at the same probe count: path=exact
-// reads a dim×4-byte feature row per candidate, path=adc reads an M-byte
-// code, sums M table lookups, and exactly re-ranks the top RerankK. The
-// corpus is sized so feature rows spill out of cache — the condition the
-// ADC path exists for.
+// BenchmarkADCScan pits the product-quantized scan paths against the
+// exact float scan over the same corpus at the same probe count:
+// path=exact reads a dim×4-byte feature row per candidate, bits=8 reads
+// an M-byte code and sums M table lookups, bits=4 streams packed blocks
+// through the fast-scan kernel at M/2 bytes per code. Every quantized
+// variant exactly re-ranks its top RerankK. The corpus is sized so
+// feature rows spill out of cache — the condition the ADC path exists
+// for. Each batch variant pushes the same 8 queries per iteration —
+// batch=1 as 8 sequential Search calls, batch=8 as one SearchBatch — so
+// ns/op is directly comparable across batch sizes.
 func BenchmarkADCScan(b *testing.B) {
 	const n, dim, m = 100_000, 64, 16
 	rng := rand.New(rand.NewSource(41))
@@ -100,8 +104,8 @@ func BenchmarkADCScan(b *testing.B) {
 	for i := 0; i < 2000; i++ {
 		train = append(train, feats[i]...)
 	}
-	build := func(pqM int) *Shard {
-		s, err := New(Config{Dim: dim, NLists: 64, DefaultNProbe: 8, SearchWorkers: 1, PQSubvectors: pqM})
+	build := func(pqM, bits int) *Shard {
+		s, err := New(Config{Dim: dim, NLists: 64, DefaultNProbe: 8, SearchWorkers: 1, PQSubvectors: pqM, PQBits: bits})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,19 +125,45 @@ func BenchmarkADCScan(b *testing.B) {
 		}
 		return s
 	}
-	shards := map[string]*Shard{"exact": build(0), "adc": build(m)}
-	for _, path := range []string{"exact", "adc"} {
-		s := shards[path]
-		b.Run(fmt.Sprintf("path=%s", path), func(b *testing.B) {
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				req := &core.SearchRequest{Feature: feats[(i*37)%n], TopK: 10, NProbe: 8, Category: -1}
-				if _, err := s.Search(req); err != nil {
-					b.Fatal(err)
-				}
+	b.Run("path=exact", func(b *testing.B) {
+		s := build(0, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := &core.SearchRequest{Feature: feats[(i*37)%n], TopK: 10, NProbe: 8, Category: -1}
+			if _, err := s.Search(req); err != nil {
+				b.Fatal(err)
 			}
-		})
+		}
+	})
+	for _, bits := range []int{8, 4} {
+		s := build(m, bits)
+		for _, batch := range []int{1, 8} {
+			b.Run(fmt.Sprintf("path=adc/bits=%d/batch=%d", bits, batch), func(b *testing.B) {
+				reqs := make([]*core.SearchRequest, 8)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for q := range reqs {
+						reqs[q] = &core.SearchRequest{Feature: feats[((i*8+q)*37)%n], TopK: 10, NProbe: 8, Category: -1}
+					}
+					if batch == 1 {
+						for _, req := range reqs {
+							if _, err := s.Search(req); err != nil {
+								b.Fatal(err)
+							}
+						}
+					} else {
+						_, errs := s.SearchBatch(reqs)
+						for _, err := range errs {
+							if err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -49,7 +49,9 @@ func readCodebook(r io.Reader) (*kmeans.Codebook, error) {
 }
 
 // writePQCodebook serialises a product quantizer:
-// [4B M][4B Dim][M*256*(Dim/M) float32].
+// [4B M][4B Dim][M*KPerSub*(Dim/M) float32]. The centroid count per
+// subquantizer (256 or 16) is not part of this section — the enclosing
+// snapshot's bit-width byte decides it, and readPQCodebook receives it.
 func writePQCodebook(w io.Writer, cb *pq.Codebook) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(cb.M))
@@ -65,7 +67,7 @@ func writePQCodebook(w io.Writer, cb *pq.Codebook) error {
 	return err
 }
 
-func readPQCodebook(r io.Reader) (*pq.Codebook, error) {
+func readPQCodebook(r io.Reader, bits int) (*pq.Codebook, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -75,11 +77,16 @@ func readPQCodebook(r io.Reader) (*pq.Codebook, error) {
 	if m <= 0 || dim <= 0 || dim > 1<<14 || m > dim || dim%m != 0 {
 		return nil, fmt.Errorf("index: corrupt pq codebook header (M=%d Dim=%d)", m, dim)
 	}
+	kPerSub := pq.NCentroids
+	if bits == 4 {
+		kPerSub = pq.NCentroids4
+	}
 	cb := &pq.Codebook{
 		M:         m,
 		Dim:       dim,
 		SubDim:    dim / m,
-		Centroids: make([]float32, m*pq.NCentroids*(dim/m)),
+		Bits:      bits,
+		Centroids: make([]float32, m*kPerSub*(dim/m)),
 	}
 	buf := make([]byte, 4*len(cb.Centroids))
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -9,6 +9,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sort"
 
 	"jdvs/internal/cache"
 	"jdvs/internal/cnn"
@@ -240,10 +241,20 @@ func (fi *FullIndexer) Build(q *mq.Queue) ([]*index.Shard, *kmeans.Codebook, err
 	perPartition := make([][]resolved, fi.cfg.Partitions)
 	train := make([]float32, 0, fi.cfg.TrainSample*fi.cfg.Shard.Dim)
 	trained := 0
+	// Iterate the replayed states in sorted URL order: map order would make
+	// image ID assignment and the training sample differ run to run, and a
+	// full build must be a pure function of the log — two builds of the
+	// same log serve byte-identical results (replica equality, experiment
+	// result audits).
+	urls := make([]string, 0, len(states))
 	for url, st := range states {
-		if !st.valid {
-			continue // "only the valid images are used to create the full index"
+		if st.valid {
+			urls = append(urls, url)
 		}
+	}
+	sort.Strings(urls)
+	for _, url := range urls {
+		st := states[url]
 		entry, _, err := fi.res.Resolve(url, st.attrs)
 		if err != nil {
 			return nil, nil, fmt.Errorf("indexer: full build resolve %s: %w", url, err)
@@ -272,6 +283,7 @@ func (fi *FullIndexer) Build(q *mq.Queue) ([]*index.Shard, *kmeans.Codebook, err
 		pcb, err = pq.Train(pq.Config{
 			Dim:  fi.cfg.Shard.Dim,
 			M:    fi.cfg.Shard.PQSubvectors,
+			Bits: fi.cfg.Shard.PQBits,
 			Seed: fi.cfg.Seed,
 		}, train)
 		if err != nil {

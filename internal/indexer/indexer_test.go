@@ -387,7 +387,7 @@ func TestFullBuildCoveredOffsetsAndPQ(t *testing.T) {
 	}
 	fi, err := NewFull(FullConfig{
 		Partitions: partitions,
-		Shard:      index.Config{Dim: testDim, NLists: 8, PQSubvectors: 4},
+		Shard:      index.Config{Dim: testDim, NLists: 8, PQSubvectors: 4, PQBits: 4},
 		Seed:       1,
 	}, f.res)
 	if err != nil {
@@ -410,6 +410,13 @@ func TestFullBuildCoveredOffsetsAndPQ(t *testing.T) {
 		}
 		if st := s.Stats(); st.PQCodes != st.Images {
 			t.Fatalf("partition %d: %d codes for %d images", p, st.PQCodes, st.Images)
+		}
+		// The configured bit width must survive the build: pq.Train defaults
+		// to 8-bit when Bits is left unset, and SetPQCodebook installs
+		// whatever width the codebook carries, so dropping PQBits here would
+		// silently serve 8-bit codes from a 4-bit-configured cluster.
+		if st := s.Stats(); st.PQBits != 4 {
+			t.Fatalf("partition %d: built with %d-bit codes, want 4", p, st.PQBits)
 		}
 	}
 	// Shards share one quantizer: identical centroids across partitions.

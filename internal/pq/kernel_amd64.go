@@ -1,0 +1,35 @@
+//go:build amd64 && !purego
+
+package pq
+
+const kernelName = "amd64"
+
+// ScanBlock4 scores one full fast-scan block of BlockCodes packed 4-bit
+// codes (see kernel_generic.go for the layout and the bit-identical
+// summation contract). This build binds the unrolled amd64 variant.
+func ScanBlock4(lut []float32, blk []byte, mb int, out *[BlockCodes]float32) {
+	scanBlock4AMD64(lut, blk, mb, out)
+}
+
+// scanBlock4AMD64 unrolls the 32-way nibble-shuffle gather four codes at
+// a time. Converting each lane to fixed-size array pointers lets the
+// compiler prove every nibble-derived index (≤ 15, ≤ 31 after the +16
+// high-half offset) in bounds, so the inner loop is pure loads and adds
+// with no slice checks; four independent code accumulations per step keep
+// the LUT loads off one dependency chain.
+func scanBlock4AMD64(lut []float32, blk []byte, mb int, out *[BlockCodes]float32) {
+	for i := range out {
+		out[i] = 0
+	}
+	for j := 0; j < mb; j++ {
+		pair := (*[32]float32)(lut[j*32:])
+		lane := (*[BlockCodes]byte)(blk[j*BlockCodes:])
+		for i := 0; i < BlockCodes; i += 4 {
+			b0, b1, b2, b3 := lane[i], lane[i+1], lane[i+2], lane[i+3]
+			out[i] += pair[b0&0x0f] + pair[16+(b0>>4)]
+			out[i+1] += pair[b1&0x0f] + pair[16+(b1>>4)]
+			out[i+2] += pair[b2&0x0f] + pair[16+(b2>>4)]
+			out[i+3] += pair[b3&0x0f] + pair[16+(b3>>4)]
+		}
+	}
+}

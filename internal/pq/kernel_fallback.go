@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package pq
+
+const kernelName = "generic"
+
+// ScanBlock4 scores one full fast-scan block of BlockCodes packed 4-bit
+// codes (see kernel_generic.go for the layout and the bit-identical
+// summation contract). This build binds the portable kernel.
+func ScanBlock4(lut []float32, blk []byte, mb int, out *[BlockCodes]float32) {
+	scanBlock4Generic(lut, blk, mb, out)
+}

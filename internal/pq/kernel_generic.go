@@ -1,0 +1,67 @@
+package pq
+
+// This file defines the portable 4-bit fast-scan kernel and the blocked
+// code layout it consumes. Optimized per-architecture variants live behind
+// build tags (kernel_amd64.go), selected at compile time through the
+// ScanBlock4 wrapper in kernel_fallback.go / kernel_amd64.go — the same
+// seam shape as vecmath's scalar kernels, so adding an architecture never
+// touches callers. Build with -tags purego to force the generic kernel on
+// any architecture.
+//
+// # Blocked fast-scan layout
+//
+// A block holds BlockCodes packed 4-bit codes of mb = M/2 bytes each,
+// interleaved by byte lane: blk[j*BlockCodes+i] is packed byte j of code
+// i. Scoring a block therefore streams mb runs of BlockCodes consecutive
+// bytes, each run scored against one 32-float LUT pair that stays in
+// registers/L1 — a pure table gather with no per-candidate pointer
+// chasing, which is what makes 4-bit codes faster (not just smaller) than
+// the 8-bit per-candidate ADCDist walk.
+//
+// # Kernel contract
+//
+// Every implementation must produce bit-identical float32 distances: zero
+// the accumulator, walk byte lanes in ascending order, and fold each
+// lane's low+high LUT pair into the accumulator as one `acc += lo + hi`.
+// The equivalence test in kernel_test.go enforces this against the
+// generic kernel, and the index package relies on it so that generic and
+// optimized builds — and full-block vs scalar-tail paths — return exactly
+// equal search results.
+
+// BlockCodes is the fast-scan block width: codes are stored and scored in
+// groups of 32, matching the 32-way gather the optimized kernels unroll.
+const BlockCodes = 32
+
+// KernelName identifies the ScanBlock4 implementation compiled into this
+// binary ("generic" or an architecture name) for logs and benchmarks.
+func KernelName() string { return kernelName }
+
+// scanBlock4Generic scores one full fast-scan block: blk holds
+// mb*BlockCodes interleaved bytes, lut holds mb*32 floats, and out[i]
+// receives code i's ADC distance.
+func scanBlock4Generic(lut []float32, blk []byte, mb int, out *[BlockCodes]float32) {
+	for i := range out {
+		out[i] = 0
+	}
+	for j := 0; j < mb; j++ {
+		pair := lut[j*32 : j*32+32]
+		lane := blk[j*BlockCodes : j*BlockCodes+BlockCodes]
+		for i, b := range lane {
+			out[i] += pair[b&0x0f] + pair[16+(b>>4)]
+		}
+	}
+}
+
+// ADCDistBlockSlot scores the single code at slot within a (possibly
+// partially filled) fast-scan block — the scalar tail path for the last
+// block of an inverted list. Bit-identical to ScanBlock4's out[slot] on a
+// full block (see the kernel contract above).
+func ADCDistBlockSlot(lut []float32, blk []byte, mb, slot int) float32 {
+	var s float32
+	for j := 0; j < mb; j++ {
+		b := blk[j*BlockCodes+slot]
+		pair := lut[j*32 : j*32+32]
+		s += pair[b&0x0f] + pair[16+(b>>4)]
+	}
+	return s
+}

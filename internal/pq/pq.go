@@ -42,6 +42,20 @@
 // recall@k of the re-ranked result stays within a few percent of the exact
 // scan when RerankK is a small multiple of k (the index package guards
 // this with a recall test).
+//
+// # 4-bit fast-scan mode
+//
+// With Bits=4 each subquantizer keeps only 16 centroids, so two
+// subquantizers pack into one code byte (low nibble = even subquantizer,
+// high nibble = odd). Code memory halves again (M/2 bytes per image) and
+// the whole query LUT shrinks to M×16 floats — small enough to stay
+// L1/register-resident while a scan streams code bytes. Codes are stored
+// in the FAISS-style blocked "fast-scan" layout (see kernel_generic.go):
+// groups of BlockCodes codes interleaved by packed-byte lane, so the
+// kernel's inner loop is a pure table gather with no per-candidate pointer
+// chasing. The coarser 16-centroid quantizer carries more error than the
+// 256-centroid one, which the caller absorbs with a deeper exact re-rank
+// (the index package's per-bit-width RerankK defaults).
 package pq
 
 import (
@@ -52,17 +66,26 @@ import (
 	"jdvs/internal/vecmath"
 )
 
-// NCentroids is the number of centroids per subquantizer. Fixed at 256 so
-// one code component is exactly one byte.
+// NCentroids is the number of centroids per subquantizer in the default
+// 8-bit mode. Fixed at 256 so one code component is exactly one byte.
 const NCentroids = 256
+
+// NCentroids4 is the number of centroids per subquantizer in 4-bit mode:
+// 16, so one code component is a nibble and two subquantizers share a
+// byte.
+const NCentroids4 = 16
 
 // Config parameterises training.
 type Config struct {
 	// Dim is the full feature dimensionality. Required.
 	Dim int
-	// M is the number of subquantizers (code bytes per vector). Required;
-	// must divide Dim.
+	// M is the number of subquantizers. Required; must divide Dim. In
+	// 8-bit mode a code is M bytes; in 4-bit mode M must be even and a
+	// code is M/2 bytes.
 	M int
+	// Bits is the centroid index width per subquantizer: 8 (256 centroids,
+	// the default when zero) or 4 (16 centroids, fast-scan mode).
+	Bits int
 	// MaxIters bounds each subquantizer's Lloyd iterations (default 15 —
 	// subspace codebooks converge faster than the IVF codebook and there
 	// are M of them to train).
@@ -82,21 +105,54 @@ func (c *Config) validate() error {
 	if c.Dim%c.M != 0 {
 		return fmt.Errorf("pq: M %d must divide Dim %d", c.M, c.Dim)
 	}
+	switch c.Bits {
+	case 0:
+		c.Bits = 8
+	case 8:
+	case 4:
+		if c.M%2 != 0 {
+			return fmt.Errorf("pq: 4-bit codes pack two subquantizers per byte; M %d must be even", c.M)
+		}
+	default:
+		return fmt.Errorf("pq: Bits must be 4 or 8, got %d", c.Bits)
+	}
 	if c.MaxIters <= 0 {
 		c.MaxIters = 15
 	}
 	return nil
 }
 
-// Codebook is a trained product quantizer: M subquantizers of NCentroids
+// Codebook is a trained product quantizer: M subquantizers of KPerSub()
 // centroids each over Dim/M-component subspaces.
 type Codebook struct {
 	Dim    int
 	M      int
 	SubDim int // Dim / M
+	// Bits is the centroid index width per subquantizer: 8 or 4. Zero is
+	// read as 8 so codebooks deserialized from pre-4-bit snapshots keep
+	// working.
+	Bits int
 	// Centroids is flat: subquantizer m's centroid c occupies
-	// Centroids[(m*NCentroids+c)*SubDim : ...+SubDim].
+	// Centroids[(m*KPerSub()+c)*SubDim : ...+SubDim].
 	Centroids []float32
+}
+
+// KPerSub returns the number of centroids per subquantizer: 16 in 4-bit
+// mode, 256 otherwise.
+func (cb *Codebook) KPerSub() int {
+	if cb.Bits == 4 {
+		return NCentroids4
+	}
+	return NCentroids
+}
+
+// CodeBytes returns the packed code size in bytes: M in 8-bit mode, M/2
+// in 4-bit mode.
+func (cb *Codebook) CodeBytes() int {
+	if cb.Bits == 4 {
+		return cb.M / 2
+	}
+	return cb.M
 }
 
 // Valid performs structural sanity checks (used when a codebook arrives
@@ -105,20 +161,30 @@ func (cb *Codebook) Valid() error {
 	if cb.Dim <= 0 || cb.M <= 0 || cb.SubDim <= 0 || cb.M*cb.SubDim != cb.Dim {
 		return fmt.Errorf("pq: inconsistent codebook shape (Dim=%d M=%d SubDim=%d)", cb.Dim, cb.M, cb.SubDim)
 	}
-	if len(cb.Centroids) != cb.M*NCentroids*cb.SubDim {
-		return fmt.Errorf("pq: codebook has %d centroid floats, want %d", len(cb.Centroids), cb.M*NCentroids*cb.SubDim)
+	switch cb.Bits {
+	case 0, 8:
+	case 4:
+		if cb.M%2 != 0 {
+			return fmt.Errorf("pq: 4-bit codebook with odd M %d", cb.M)
+		}
+	default:
+		return fmt.Errorf("pq: codebook Bits must be 4 or 8, got %d", cb.Bits)
+	}
+	if len(cb.Centroids) != cb.M*cb.KPerSub()*cb.SubDim {
+		return fmt.Errorf("pq: codebook has %d centroid floats, want %d", len(cb.Centroids), cb.M*cb.KPerSub()*cb.SubDim)
 	}
 	return nil
 }
 
-// subCentroids returns subquantizer m's flat NCentroids×SubDim matrix.
+// subCentroids returns subquantizer m's flat KPerSub()×SubDim matrix.
 func (cb *Codebook) subCentroids(m int) []float32 {
-	start := m * NCentroids * cb.SubDim
-	return cb.Centroids[start : start+NCentroids*cb.SubDim]
+	k := cb.KPerSub()
+	start := m * k * cb.SubDim
+	return cb.Centroids[start : start+k*cb.SubDim]
 }
 
 // Train fits a product quantizer on the training vectors (flat row-major
-// n×cfg.Dim). Fewer than NCentroids distinct subvectors is fine: the
+// n×cfg.Dim). Fewer than KPerSub distinct subvectors is fine: the
 // underlying k-means seeds surplus centroids from perturbed data rows.
 func Train(cfg Config, data []float32) (*Codebook, error) {
 	if err := cfg.validate(); err != nil {
@@ -133,11 +199,12 @@ func Train(cfg Config, data []float32) (*Codebook, error) {
 	}
 	subDim := cfg.Dim / cfg.M
 	cb := &Codebook{
-		Dim:       cfg.Dim,
-		M:         cfg.M,
-		SubDim:    subDim,
-		Centroids: make([]float32, cfg.M*NCentroids*subDim),
+		Dim:    cfg.Dim,
+		M:      cfg.M,
+		SubDim: subDim,
+		Bits:   cfg.Bits,
 	}
+	cb.Centroids = make([]float32, cfg.M*cb.KPerSub()*subDim)
 	// Train each subspace independently over the m-th subvector column
 	// block, gathered contiguously for the kmeans kernel.
 	sub := make([]float32, n*subDim)
@@ -147,7 +214,7 @@ func Train(cfg Config, data []float32) (*Codebook, error) {
 			copy(sub[i*subDim:(i+1)*subDim], data[i*cfg.Dim+off:i*cfg.Dim+off+subDim])
 		}
 		kcb, err := kmeans.Train(kmeans.Config{
-			K:        NCentroids,
+			K:        cb.KPerSub(),
 			Dim:      subDim,
 			MaxIters: cfg.MaxIters,
 			Seed:     cfg.Seed + int64(m),
@@ -160,14 +227,24 @@ func Train(cfg Config, data []float32) (*Codebook, error) {
 	return cb, nil
 }
 
-// Encode quantizes v into code (len M): code[m] is the index of the
-// nearest centroid of subquantizer m to v's m-th subvector.
+// Encode quantizes v into code (len CodeBytes()). In 8-bit mode code[m] is
+// the index of the nearest centroid of subquantizer m to v's m-th
+// subvector; in 4-bit mode byte j packs subquantizer 2j's index in the low
+// nibble and 2j+1's in the high nibble.
 func (cb *Codebook) Encode(v []float32, code []byte) error {
 	if len(v) != cb.Dim {
 		return fmt.Errorf("pq: encode dim %d, codebook dim %d", len(v), cb.Dim)
 	}
-	if len(code) != cb.M {
-		return fmt.Errorf("pq: code length %d, want M=%d", len(code), cb.M)
+	if len(code) != cb.CodeBytes() {
+		return fmt.Errorf("pq: code length %d, want %d", len(code), cb.CodeBytes())
+	}
+	if cb.Bits == 4 {
+		for j := range code {
+			lo, _ := vecmath.NearestCentroid(v[(2*j)*cb.SubDim:(2*j+1)*cb.SubDim], cb.subCentroids(2*j), cb.SubDim)
+			hi, _ := vecmath.NearestCentroid(v[(2*j+1)*cb.SubDim:(2*j+2)*cb.SubDim], cb.subCentroids(2*j+1), cb.SubDim)
+			code[j] = byte(lo) | byte(hi)<<4
+		}
+		return nil
 	}
 	for m := 0; m < cb.M; m++ {
 		sub := v[m*cb.SubDim : (m+1)*cb.SubDim]
@@ -181,25 +258,39 @@ func (cb *Codebook) Encode(v []float32, code []byte) error {
 // (len Dim) — the vector ADC distances are actually measured to. Used by
 // tests to bound quantization error.
 func (cb *Codebook) Decode(code []byte, out []float32) error {
-	if len(code) != cb.M {
-		return fmt.Errorf("pq: code length %d, want M=%d", len(code), cb.M)
+	if len(code) != cb.CodeBytes() {
+		return fmt.Errorf("pq: code length %d, want %d", len(code), cb.CodeBytes())
 	}
 	if len(out) != cb.Dim {
 		return fmt.Errorf("pq: decode dim %d, codebook dim %d", len(out), cb.Dim)
 	}
 	for m := 0; m < cb.M; m++ {
+		c := cb.centroidIndex(code, m)
 		cents := cb.subCentroids(m)
-		c := int(code[m])
 		copy(out[m*cb.SubDim:(m+1)*cb.SubDim], cents[c*cb.SubDim:(c+1)*cb.SubDim])
 	}
 	return nil
 }
 
-// LUTSize returns the float32 count of one query's distance table.
-func (cb *Codebook) LUTSize() int { return cb.M * NCentroids }
+// centroidIndex extracts subquantizer m's centroid index from a packed
+// code.
+func (cb *Codebook) centroidIndex(code []byte, m int) int {
+	if cb.Bits == 4 {
+		b := code[m/2]
+		if m%2 == 1 {
+			return int(b >> 4)
+		}
+		return int(b & 0x0f)
+	}
+	return int(code[m])
+}
+
+// LUTSize returns the float32 count of one query's distance table:
+// M×256 in 8-bit mode, M×16 in 4-bit mode.
+func (cb *Codebook) LUTSize() int { return cb.M * cb.KPerSub() }
 
 // BuildLUT fills the per-query asymmetric distance table into lut, growing
-// it if needed, and returns it: lut[m*NCentroids+c] is the squared L2
+// it if needed, and returns it: lut[m*KPerSub()+c] is the squared L2
 // distance between q's m-th subvector and centroid c of subquantizer m.
 // Passing a retained buffer makes repeated queries allocation-free.
 func (cb *Codebook) BuildLUT(q []float32, lut []float32) ([]float32, error) {
@@ -211,11 +302,12 @@ func (cb *Codebook) BuildLUT(q []float32, lut []float32) ([]float32, error) {
 		lut = make([]float32, need)
 	}
 	lut = lut[:need]
+	k := cb.KPerSub()
 	for m := 0; m < cb.M; m++ {
 		sub := q[m*cb.SubDim : (m+1)*cb.SubDim]
 		cents := cb.subCentroids(m)
-		row := lut[m*NCentroids : (m+1)*NCentroids]
-		for c := 0; c < NCentroids; c++ {
+		row := lut[m*k : (m+1)*k]
+		for c := 0; c < k; c++ {
 			row[c] = vecmath.L2Squared(sub, cents[c*cb.SubDim:(c+1)*cb.SubDim])
 		}
 	}
@@ -245,6 +337,25 @@ func ADCDist(lut []float32, code []byte) float32 {
 		lut = lut[NCentroids:]
 	}
 	return s0 + s1 + s2 + s3
+}
+
+// ADCDist4 returns the asymmetric approximate squared distance of one
+// packed 4-bit code (len M/2) against a query's M×16 lookup table. Packed
+// byte j covers subquantizers 2j (low nibble) and 2j+1 (high nibble),
+// whose LUT rows are the contiguous 32 floats lut[j*32 : j*32+32].
+//
+// The summation shape (ascending byte lane, the lane's low+high pair
+// summed before folding into the accumulator) is the kernel contract
+// shared with ScanBlock4 and ADCDistBlockSlot: all three produce
+// bit-identical distances for the same code, so full-block, tail and
+// single-code paths can mix freely within one query.
+func ADCDist4(lut []float32, code []byte) float32 {
+	var s float32
+	for j, b := range code {
+		pair := lut[j*32 : j*32+32]
+		s += pair[b&0x0f] + pair[16+(b>>4)]
+	}
+	return s
 }
 
 // ADCScan scores a contiguous block of n codes (codes holds n×m bytes,

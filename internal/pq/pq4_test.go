@@ -1,0 +1,117 @@
+package pq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jdvs/internal/vecmath"
+)
+
+func TestConfig4BitValidation(t *testing.T) {
+	data := make([]float32, 10*16)
+	if _, err := Train(Config{Dim: 16, M: 4, Bits: 5}, data); err == nil {
+		t.Fatal("Bits 5 accepted")
+	}
+	if _, err := Train(Config{Dim: 16, M: 1, Bits: 4}, data); err == nil {
+		t.Fatal("odd M accepted for 4-bit codes")
+	}
+	cb, err := Train(Config{Dim: 16, M: 4, Bits: 4}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Bits != 4 || cb.KPerSub() != NCentroids4 || cb.CodeBytes() != 2 {
+		t.Fatalf("4-bit codebook shape: Bits=%d KPerSub=%d CodeBytes=%d", cb.Bits, cb.KPerSub(), cb.CodeBytes())
+	}
+	if len(cb.Centroids) != 4*NCentroids4*4 {
+		t.Fatalf("4-bit centroid count %d, want %d", len(cb.Centroids), 4*NCentroids4*4)
+	}
+	if err := cb.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	cb.M = 3
+	cb.SubDim = 16 / 3
+	if err := cb.Valid(); err == nil {
+		t.Fatal("Valid accepted odd-M 4-bit codebook")
+	}
+}
+
+// TestEncodeDecode4Bit: packed nibble codes must round-trip through
+// Decode onto real centroids, and quantize (reconstruction closer than a
+// random other vector).
+func TestEncodeDecode4Bit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const dim = 32
+	data := clusteredData(rng, 1500, dim, 12, 0.15)
+	cb, err := Train(Config{Dim: dim, M: 8, Bits: 4, Seed: 3}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := make([]byte, cb.CodeBytes())
+	dec := make([]float32, dim)
+	var reconErr, crossErr float64
+	for i := 0; i < 200; i++ {
+		v := data[i*dim : (i+1)*dim]
+		if err := cb.Encode(v, code); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Decode(code, dec); err != nil {
+			t.Fatal(err)
+		}
+		// Every decoded subvector must be a real centroid of its own
+		// subquantizer — this catches nibble-order mixups that plain
+		// error bounds would miss.
+		for m := 0; m < cb.M; m++ {
+			c := cb.centroidIndex(code, m)
+			cents := cb.subCentroids(m)
+			for d := 0; d < cb.SubDim; d++ {
+				if dec[m*cb.SubDim+d] != cents[c*cb.SubDim+d] {
+					t.Fatalf("row %d sub %d: decode is not centroid %d", i, m, c)
+				}
+			}
+		}
+		reconErr += float64(vecmath.L2Squared(v, dec))
+		w := data[((i+700)%1500)*dim : (((i+700)%1500)+1)*dim]
+		crossErr += float64(vecmath.L2Squared(v, w))
+	}
+	if reconErr*5 > crossErr {
+		t.Fatalf("4-bit reconstruction error %.3f not well below cross-vector distance %.3f", reconErr, crossErr)
+	}
+}
+
+// TestADCDist4MatchesDecodedDistance: the 16-entry LUT sum must equal the
+// exact distance to the code's centroid reconstruction, like the 8-bit
+// path's TestADCDistMatchesDecodedDistance.
+func TestADCDist4MatchesDecodedDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const dim = 24
+	data := clusteredData(rng, 800, dim, 10, 0.3)
+	cb, err := Train(Config{Dim: dim, M: 6, Bits: 4, Seed: 5}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[:dim]
+	lut, err := cb.BuildLUT(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lut) != cb.LUTSize() || cb.LUTSize() != 6*NCentroids4 {
+		t.Fatalf("4-bit lut len %d, LUTSize %d", len(lut), cb.LUTSize())
+	}
+	code := make([]byte, cb.CodeBytes())
+	dec := make([]float32, dim)
+	for i := 100; i < 150; i++ {
+		v := data[i*dim : (i+1)*dim]
+		if err := cb.Encode(v, code); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Decode(code, dec); err != nil {
+			t.Fatal(err)
+		}
+		adc := float64(ADCDist4(lut, code))
+		exact := float64(vecmath.L2Squared(q, dec))
+		if diff := math.Abs(adc - exact); diff > 1e-3*(1+exact) {
+			t.Fatalf("row %d: ADC4 %.6f vs decoded-exact %.6f", i, adc, exact)
+		}
+	}
+}

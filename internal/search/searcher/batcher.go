@@ -1,0 +1,107 @@
+package searcher
+
+import (
+	"sync"
+	"time"
+
+	"jdvs/internal/core"
+)
+
+// defaultBatchMaxQueries caps a batch when Config.BatchMaxQueries is
+// unset: large enough to amortise the shared list traversal under heavy
+// concurrency, small enough that per-batch work stays bounded.
+const defaultBatchMaxQueries = 16
+
+// batcher collects concurrent search requests into windows and executes
+// each window as one index.SearchBatch pass. The first request to arrive
+// while no window is open becomes the leader: it waits out BatchWindow
+// (or until the batch fills to maxQ), executes the batch on its own
+// goroutine, and hands every follower its result over a per-entry
+// channel. Followers just enqueue and wait. The rpc server runs each
+// request on its own goroutine, so collecting blocks only the requests
+// being batched, never the connection.
+//
+// The window is the latency a lone query pays for batching: a leader with
+// no followers still sleeps BatchWindow before executing (as a
+// single-query batch, which index.SearchBatch routes straight to Search).
+// Deployments opt in via Config.BatchWindow, trading that bounded
+// per-query delay for higher closed-loop throughput under concurrency.
+type batcher struct {
+	s      *Searcher
+	window time.Duration
+	maxQ   int
+
+	mu         sync.Mutex
+	collecting bool          // a leader's window is open
+	full       chan struct{} // signalled when pending+leader reaches maxQ
+	pending    []batchEntry  // followers of the open window
+}
+
+type batchEntry struct {
+	req *core.SearchRequest
+	ch  chan batchResult
+}
+
+type batchResult struct {
+	resp *core.SearchResponse
+	err  error
+}
+
+func newBatcher(s *Searcher, window time.Duration, maxQ int) *batcher {
+	if maxQ <= 0 {
+		maxQ = defaultBatchMaxQueries
+	}
+	return &batcher{s: s, window: window, maxQ: maxQ}
+}
+
+// do routes one search request through the collector and returns its
+// individual result.
+func (b *batcher) do(req *core.SearchRequest) (*core.SearchResponse, error) {
+	b.mu.Lock()
+	if b.collecting {
+		// Join the open window and wait for the leader to deliver.
+		e := batchEntry{req: req, ch: make(chan batchResult, 1)}
+		b.pending = append(b.pending, e)
+		if len(b.pending)+1 >= b.maxQ {
+			select {
+			case b.full <- struct{}{}:
+			default: // leader already signalled
+			}
+		}
+		b.mu.Unlock()
+		r := <-e.ch
+		return r.resp, r.err
+	}
+
+	// Become the leader: open a window, wait it out (or until full), then
+	// close the window and execute everything it collected.
+	b.collecting = true
+	full := make(chan struct{}, 1)
+	b.full = full
+	b.mu.Unlock()
+
+	timer := time.NewTimer(b.window)
+	select {
+	case <-full:
+		timer.Stop()
+	case <-timer.C:
+	}
+
+	b.mu.Lock()
+	followers := b.pending
+	b.pending = nil
+	b.collecting = false
+	b.full = nil
+	b.mu.Unlock()
+
+	reqs := make([]*core.SearchRequest, 0, 1+len(followers))
+	reqs = append(reqs, req)
+	for _, e := range followers {
+		reqs = append(reqs, e.req)
+	}
+	resps, errs := b.s.shard.Load().SearchBatch(reqs)
+	for i, e := range followers {
+		e.ch <- batchResult{resp: resps[1+i], err: errs[1+i]}
+	}
+	return resps[0], errs[0]
+}

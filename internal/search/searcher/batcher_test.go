@@ -1,0 +1,154 @@
+package searcher
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"jdvs/internal/core"
+	"jdvs/internal/index"
+)
+
+// pqShard builds a PQ-enabled shard over the fixture's corpus at the
+// requested bit width.
+func pqShard(t *testing.T, f *fixture, bits int) *index.Shard {
+	t.Helper()
+	s, err := index.New(index.Config{
+		Dim: testDim, NLists: 8, DefaultNProbe: 8, PQSubvectors: 4, PQBits: bits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetCodebook(f.shard.Codebook()); err != nil {
+		t.Fatal(err)
+	}
+	var train []float32
+	for _, feat := range f.feats {
+		train = append(train, feat...)
+	}
+	if err := s.TrainPQ(train, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.cat.Products {
+		p := &f.cat.Products[i]
+		for _, url := range p.ImageURLs {
+			if _, _, err := s.Insert(p.Attrs(url), f.feats[url]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// TestBatchedSearchOverRPC: a searcher with a batch window must answer
+// concurrent clients with exactly the responses an unbatched searcher
+// gives, while actually collecting multi-query batches.
+func TestBatchedSearchOverRPC(t *testing.T) {
+	f := newFixture(t, 40)
+	shard := pqShard(t, f, 4)
+	batched, err := New(Config{
+		Shard:           shard,
+		BatchWindow:     5 * time.Millisecond,
+		BatchMaxQueries: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	var reqs []*core.SearchRequest
+	for i := range f.cat.Products {
+		url := f.cat.Products[i].ImageURLs[0]
+		reqs = append(reqs, &core.SearchRequest{Feature: f.feats[url], TopK: 5, NProbe: 8, Category: -1})
+		if len(reqs) == 16 {
+			break
+		}
+	}
+
+	// Ground truth from the shard directly (unbatched path).
+	want := make([]*core.SearchResponse, len(reqs))
+	for i, req := range reqs {
+		w, err := shard.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+
+	// Fire all requests concurrently so the collector actually forms
+	// batches, several rounds to cover leader/follower role churn.
+	for round := 0; round < 3; round++ {
+		got := make([]*core.SearchResponse, len(reqs))
+		var wg sync.WaitGroup
+		for i := range reqs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = callSearch(t, batched.Addr(), reqs[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range reqs {
+			if len(got[i].Hits) != len(want[i].Hits) {
+				t.Fatalf("round %d query %d: %d hits, want %d", round, i, len(got[i].Hits), len(want[i].Hits))
+			}
+			if got[i].Scanned != want[i].Scanned || got[i].Probed != want[i].Probed {
+				t.Fatalf("round %d query %d: scanned/probed %d/%d, want %d/%d",
+					round, i, got[i].Scanned, got[i].Probed, want[i].Scanned, want[i].Probed)
+			}
+			for j := range want[i].Hits {
+				g, w := got[i].Hits[j], want[i].Hits[j]
+				if g.Image.Local != w.Image.Local || g.Dist != w.Dist {
+					t.Fatalf("round %d query %d hit %d: (%d %g), want (%d %g)",
+						round, i, j, g.Image.Local, g.Dist, w.Image.Local, w.Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestBatcherLoneQuery: with no concurrency a batched searcher still
+// answers (as a single-query batch) after waiting out its window.
+func TestBatcherLoneQuery(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{Shard: f.shard, BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	url := f.cat.Products[0].ImageURLs[0]
+	resp := callSearch(t, s.Addr(), &core.SearchRequest{Feature: f.feats[url], TopK: 1, NProbe: 8, Category: -1})
+	if len(resp.Hits) == 0 {
+		t.Fatal("lone query through the batcher returned nothing")
+	}
+}
+
+// TestBatcherFullWindowExecutesEarly: a window that fills to
+// BatchMaxQueries must execute well before a long BatchWindow elapses.
+func TestBatcherFullWindowExecutesEarly(t *testing.T) {
+	f := newFixture(t, 10)
+	s, err := New(Config{
+		Shard:           f.shard,
+		BatchWindow:     30 * time.Second, // would time the test out if waited
+		BatchMaxQueries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	url := f.cat.Products[0].ImageURLs[0]
+	req := &core.SearchRequest{Feature: f.feats[url], TopK: 1, NProbe: 8, Category: -1}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			callSearch(t, s.Addr(), req)
+		}()
+	}
+	wg.Wait()
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("full batch took %v; the fill signal did not fire", e)
+	}
+}

@@ -417,3 +417,55 @@ func TestPushSnapshotPQMultiChunk(t *testing.T) {
 		}
 	}
 }
+
+// TestPushSnapshot4BitMultiChunk: a 4-bit fast-scan snapshot (v3 layout
+// with packed per-list code blocks) must round-trip through the chunked
+// streaming push and serve the blocked ADC scan on the receiver.
+func TestPushSnapshot4BitMultiChunk(t *testing.T) {
+	f := newFixture(t, 40)
+	s, err := New(Config{Shard: f.shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	next := pqShard(t, f, 4)
+	next.SetCoveredOffset(321)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := PushSnapshotWith(ctx, s.Addr(), next, PushOptions{ChunkSize: 4 << 10}); err != nil {
+		t.Fatalf("PushSnapshotWith: %v", err)
+	}
+	got := s.Shard()
+	if !got.PQEnabled() {
+		t.Fatal("pushed 4-bit snapshot installed without its quantizer")
+	}
+	st := got.Stats()
+	if st.PQBits != 4 {
+		t.Fatalf("pushed shard serves %d-bit codes, want 4", st.PQBits)
+	}
+	if off := got.CoveredOffset(); off != 321 {
+		t.Fatalf("covered offset %d, want 321", off)
+	}
+	if st.PQCodes != st.Images || st.Images == 0 {
+		t.Fatalf("pushed shard has %d codes for %d images", st.PQCodes, st.Images)
+	}
+	for i := 0; i < 5; i++ {
+		url := f.cat.Products[i].ImageURLs[0]
+		req := &core.SearchRequest{Feature: f.feats[url], TopK: 5, NProbe: 8, Category: -1}
+		want, err := next.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := callSearch(t, s.Addr(), req)
+		if len(resp.Hits) != len(want.Hits) {
+			t.Fatalf("query %d: %d hits, want %d", i, len(resp.Hits), len(want.Hits))
+		}
+		for j := range want.Hits {
+			if resp.Hits[j].Image.Local != want.Hits[j].Image.Local || resp.Hits[j].Dist != want.Hits[j].Dist {
+				t.Fatalf("query %d hit %d: %+v, want %+v", i, j, resp.Hits[j], want.Hits[j])
+			}
+		}
+	}
+}
