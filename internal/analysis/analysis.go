@@ -54,7 +54,42 @@ type Pass struct {
 	report func(Diagnostic)
 	facts  *factStore
 
-	directives map[*token.File]map[int][]string // lazily built per pass
+	// suite names every analyzer in the current run. The directiverot
+	// audit consults it so a directive is only called dead when the
+	// analyzer it belongs to actually ran (a `-only` run must not flag
+	// every other analyzer's directives as stale).
+	suite map[string]bool
+
+	// directives indexes //jdvs: comments. The checker shares one index
+	// across every pass run on the same package so the directiverot audit
+	// (always registered last) can see which directives suppressed a live
+	// finding of an earlier analyzer. A pass built outside the checker
+	// (unit tests) constructs its own lazily.
+	directives *directiveIndex
+
+	// Per-function engine caches, keyed by the CFG so analyzers that
+	// share a function pay for construction and fixpoints once.
+	cfgs     map[ast.Node]*CFG
+	defuse   map[*CFG]*DefUse
+	aliasing map[*CFG]*Aliasing
+}
+
+// SuiteContains reports whether the analyzer named name is part of the
+// current checker run.
+func (p *Pass) SuiteContains(name string) bool { return p.suite[name] }
+
+// FuncCFG returns the control-flow graph of fn (a *ast.FuncDecl or
+// *ast.FuncLit), built on first request and cached for the pass.
+func (p *Pass) FuncCFG(fn ast.Node) *CFG {
+	if p.cfgs == nil {
+		p.cfgs = map[ast.Node]*CFG{}
+	}
+	if c, ok := p.cfgs[fn]; ok {
+		return c
+	}
+	c := BuildCFG(fn)
+	p.cfgs[fn] = c
+	return c
 }
 
 // A Diagnostic is one finding.

@@ -44,6 +44,15 @@ func TestData(t *testing.T) string {
 // fixture module at dir, applies a, and checks expectations.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunSuite(t, dir, []*analysis.Analyzer{a}, pkgs...)
+}
+
+// RunSuite is Run for several analyzers applied together in order. The
+// directiverot audit needs it: its dead-suppression check reads the
+// directive hits recorded by the analyzers registered before it in the
+// same run.
+func RunSuite(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	patterns := make([]string, len(pkgs))
 	for i, p := range pkgs {
 		patterns[i] = "./src/" + p
@@ -52,9 +61,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	if err != nil {
 		t.Fatalf("load fixtures: %v", err)
 	}
-	findings, err := analysis.RunAnalyzers(fset, loaded, []*analysis.Analyzer{a})
+	findings, err := analysis.RunAnalyzers(fset, loaded, analyzers)
 	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+		t.Fatalf("run %s: %v", analyzers[0].Name, err)
 	}
 
 	type key struct {
@@ -110,7 +119,11 @@ func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, add func(strin
 	tf := fset.File(f.Pos())
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
+			// Line or block comment; block comments (used to attach an
+			// expectation before a line-comment directive) drop the
+			// closing delimiter so it does not trail the last pattern.
 			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
 			idx := strings.Index(text, "want ")
 			if idx < 0 {
 				continue

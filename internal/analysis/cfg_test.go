@@ -1,0 +1,353 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc type-checks src (a complete file body without the package
+// clause) and returns the named function plus the supporting machinery.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "a.go", "package p\n\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, info, fd
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil, nil, nil
+}
+
+// findCall locates the CallExpr whose source text contains want.
+func findCall(t *testing.T, fset *token.FileSet, fn *ast.FuncDecl, want string) (*ast.CallExpr, []ast.Node) {
+	t.Helper()
+	var call *ast.CallExpr
+	var stack, result []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		if c, ok := n.(*ast.CallExpr); ok && call == nil {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == want {
+				call = c
+				result = append([]ast.Node(nil), stack...)
+			}
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == want {
+				call = c
+				result = append([]ast.Node(nil), stack...)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn, walk)
+	if call == nil {
+		t.Fatalf("no call %s in %s", want, fn.Name.Name)
+	}
+	return call, result
+}
+
+func TestCFGOrdering(t *testing.T) {
+	src := `
+func f(cond bool) {
+	a()
+	if cond {
+		b()
+		return
+	}
+	c()
+	d()
+}
+func a() {}
+func b() {}
+func c() {}
+func d() {}
+`
+	fset, _, fn := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn)
+
+	a, as := findCall(t, fset, fn, "a")
+	b, bs := findCall(t, fset, fn, "b")
+	c, cs := findCall(t, fset, fn, "c")
+	d, ds := findCall(t, fset, fn, "d")
+	pa, pb := cfg.NodePos(a, as), cfg.NodePos(b, bs)
+	pc, pd := cfg.NodePos(c, cs), cfg.NodePos(d, ds)
+	for i, p := range []NodePos{pa, pb, pc, pd} {
+		if !p.Valid() {
+			t.Fatalf("call %d did not resolve to a CFG position", i)
+		}
+	}
+
+	if !cfg.ReachableAfter(pa, pb, false) || !cfg.ReachableAfter(pa, pc, false) {
+		t.Errorf("b and c must be reachable after a")
+	}
+	if cfg.ReachableAfter(pb, pc, false) {
+		t.Errorf("c must not be reachable after b (b's branch returns)")
+	}
+	if cfg.ReachableAfter(pc, pb, false) {
+		t.Errorf("b must not be reachable after c")
+	}
+	if !cfg.ReachableAfter(pc, pd, false) {
+		t.Errorf("d must be reachable after c")
+	}
+}
+
+func TestCFGLoopBackEdges(t *testing.T) {
+	src := `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		w()
+		p()
+	}
+}
+func w() {}
+func p() {}
+`
+	fset, _, fn := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn)
+	w, ws := findCall(t, fset, fn, "w")
+	p, ps := findCall(t, fset, fn, "p")
+	pw, pp := cfg.NodePos(w, ws), cfg.NodePos(p, ps)
+
+	// Within one iteration w precedes p; w after p requires the back edge.
+	if !cfg.ReachableAfter(pw, pp, false) {
+		t.Errorf("p must be reachable after w without back edges")
+	}
+	if cfg.ReachableAfter(pp, pw, false) {
+		t.Errorf("w after p should require a back edge")
+	}
+	if !cfg.ReachableAfter(pp, pw, true) {
+		t.Errorf("w must be reachable after p when following back edges")
+	}
+}
+
+func TestCFGPathAvoiding(t *testing.T) {
+	src := `
+func covered(cond bool) {
+	get()
+	if cond {
+		put()
+		return
+	}
+	put()
+}
+func leaky(cond bool) {
+	get()
+	if cond {
+		return
+	}
+	put()
+}
+func get() {}
+func put() {}
+`
+	isPut := func(fset *token.FileSet) func(ast.Node) bool {
+		return func(n ast.Node) bool {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "put" {
+						found = true
+					}
+				}
+				return !found
+			})
+			return found
+		}
+	}
+
+	fset, _, fn := parseFunc(t, src, "covered")
+	cfg := BuildCFG(fn)
+	g, gs := findCall(t, fset, fn, "get")
+	if cfg.PathAvoiding(cfg.NodePos(g, gs), isPut(fset)) {
+		t.Errorf("covered: every exit passes put, PathAvoiding must be false")
+	}
+
+	fset2, _, fn2 := parseFunc(t, src, "leaky")
+	cfg2 := BuildCFG(fn2)
+	g2, gs2 := findCall(t, fset2, fn2, "get")
+	if !cfg2.PathAvoiding(cfg2.NodePos(g2, gs2), isPut(fset2)) {
+		t.Errorf("leaky: the early return skips put, PathAvoiding must be true")
+	}
+}
+
+func TestCFGPathToAvoiding(t *testing.T) {
+	src := `
+func reader(cond bool) {
+	if cond {
+		loadLen()
+	}
+	loadDir()
+}
+func ordered() {
+	loadLen()
+	loadDir()
+}
+func loadLen() {}
+func loadDir() {}
+`
+	isLen := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "loadLen" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	fset, _, fn := parseFunc(t, src, "reader")
+	cfg := BuildCFG(fn)
+	d, ds := findCall(t, fset, fn, "loadDir")
+	if !cfg.PathToAvoiding(cfg.NodePos(d, ds), isLen) {
+		t.Errorf("reader: the cond=false path reaches loadDir with no loadLen")
+	}
+
+	fset2, _, fn2 := parseFunc(t, src, "ordered")
+	cfg2 := BuildCFG(fn2)
+	d2, ds2 := findCall(t, fset2, fn2, "loadDir")
+	if cfg2.PathToAvoiding(cfg2.NodePos(d2, ds2), isLen) {
+		t.Errorf("ordered: loadLen always precedes loadDir")
+	}
+}
+
+func TestCFGSelectAndDefer(t *testing.T) {
+	src := `
+func f(ch chan int, done chan struct{}) {
+	defer cleanup()
+	select {
+	case v := <-ch:
+		use(v)
+	case <-done:
+		return
+	}
+	tail()
+}
+func cleanup() {}
+func use(int) {}
+func tail() {}
+`
+	fset, _, fn := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn)
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(cfg.Defers))
+	}
+	u, us := findCall(t, fset, fn, "use")
+	tl, ts := findCall(t, fset, fn, "tail")
+	pu, pt := cfg.NodePos(u, us), cfg.NodePos(tl, ts)
+	if !pu.Valid() || !pt.Valid() {
+		t.Fatal("select-branch calls did not resolve")
+	}
+	if !cfg.ReachableAfter(pu, pt, false) {
+		t.Errorf("tail must be reachable after the first select branch")
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	src := `
+func f(cond bool) {
+	get()
+	if cond {
+		panic("boom")
+	}
+	put()
+}
+func get() {}
+func put() {}
+`
+	fset, _, fn := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn)
+	g, gs := findCall(t, fset, fn, "get")
+	isPut := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "put" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	// The only put-free exit is the panic; PathAvoiding skips panic
+	// edges, so the function counts as covered.
+	if cfg.PathAvoiding(cfg.NodePos(g, gs), isPut) {
+		t.Errorf("panic-only escape must not count as a leak")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	src := `
+func f(x int) {
+	switch x {
+	case 0:
+		a()
+		fallthrough
+	case 1:
+		b()
+	default:
+		c()
+	}
+}
+func a() {}
+func b() {}
+func c() {}
+`
+	fset, _, fn := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn)
+	a, as := findCall(t, fset, fn, "a")
+	b, bs := findCall(t, fset, fn, "b")
+	c, cs := findCall(t, fset, fn, "c")
+	pa, pb, pc := cfg.NodePos(a, as), cfg.NodePos(b, bs), cfg.NodePos(c, cs)
+	if !cfg.ReachableAfter(pa, pb, false) {
+		t.Errorf("fallthrough: b must be reachable after a")
+	}
+	if cfg.ReachableAfter(pa, pc, false) {
+		t.Errorf("default must not be reachable after case 0's body")
+	}
+}
+
+func TestNodePosClimbsStack(t *testing.T) {
+	src := `
+func f() int {
+	return g() + 1
+}
+func g() int { return 0 }
+`
+	fset, _, fn := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn)
+	call, stack := findCall(t, fset, fn, "g")
+	// The call itself is not a registered node; its ReturnStmt is.
+	pos := cfg.NodePos(call, stack)
+	if !pos.Valid() {
+		t.Fatal("NodePos must climb the stack to the enclosing statement")
+	}
+	if _, ok := pos.Block.Nodes[pos.Index].(*ast.ReturnStmt); !ok {
+		t.Errorf("resolved to %T, want *ast.ReturnStmt", pos.Block.Nodes[pos.Index])
+	}
+}

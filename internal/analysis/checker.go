@@ -26,6 +26,10 @@ func (f Finding) String() string {
 // noise.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	facts := newFactStore()
+	suite := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		suite[a.Name] = true
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		if pkg.Standard || pkg.Types == nil {
@@ -34,14 +38,20 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 		if len(pkg.Errors) > 0 {
 			return nil, fmt.Errorf("analysis: %s does not type-check: %v", pkg.ImportPath, pkg.Errors[0])
 		}
+		// One directive index per package, shared by every analyzer's
+		// pass: suppression hits recorded by early analyzers are visible
+		// to the directiverot audit, which registers last.
+		dirs := buildDirectiveIndex(fset, pkg.Files)
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer:  a,
-				Fset:      fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				facts:     facts,
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				facts:      facts,
+				directives: dirs,
+				suite:      suite,
 			}
 			target := pkg.Target
 			pass.report = func(d Diagnostic) {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -191,10 +192,33 @@ func topoSort(order []string, byPath map[string]*listedPackage) []string {
 	return sorted
 }
 
+// listCacheDir, when non-empty, holds raw `go list` output keyed by the
+// invocation (dir + args). See SetListCache.
+var listCacheDir string
+
+// SetListCache directs goList to memoize its raw JSON output under dir.
+// The cache key covers only the working directory and argument list, not
+// the module contents, so the caller owns invalidation: it is meant for
+// CI, where the cache directory itself is keyed on a hash of every .go
+// file and go.mod, and a source change swaps in an empty directory.
+// Passing "" disables caching (the default).
+func SetListCache(dir string) { listCacheDir = dir }
+
 // goList shells out to the go command once. CGO is disabled so the file
 // lists (and the net resolver et al.) stay pure Go and type-checkable
 // from source.
 func goList(dir string, args []string) ([]*listedPackage, error) {
+	var cachePath string
+	if listCacheDir != "" {
+		sum := sha256.Sum256([]byte(dir + "\x00" + joinArgs(args)))
+		cachePath = filepath.Join(listCacheDir, fmt.Sprintf("golist-%x.json", sum[:12]))
+		if out, err := os.ReadFile(cachePath); err == nil {
+			if pkgs, err := decodeListed(out); err == nil {
+				return pkgs, nil
+			}
+			// Corrupt entry: fall through and overwrite it.
+		}
+	}
 	cmd := exec.Command("go", append([]string{"list"}, args...)...)
 	cmd.Dir = dir
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
@@ -204,6 +228,29 @@ func goList(dir string, args []string) ([]*listedPackage, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: go list %v: %w\n%s", args, err, stderr.String())
 	}
+	if cachePath != "" {
+		// Best-effort: an unwritable cache slows the run down, nothing
+		// else.
+		if err := os.MkdirAll(listCacheDir, 0o755); err == nil {
+			tmp := cachePath + ".tmp"
+			if err := os.WriteFile(tmp, out, 0o644); err == nil {
+				os.Rename(tmp, cachePath)
+			}
+		}
+	}
+	return decodeListed(out)
+}
+
+func joinArgs(args []string) string {
+	var b bytes.Buffer
+	for _, a := range args {
+		b.WriteString(a)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func decodeListed(out []byte) ([]*listedPackage, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	var pkgs []*listedPackage
 	for {

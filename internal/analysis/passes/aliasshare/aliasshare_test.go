@@ -1,0 +1,12 @@
+package aliasshare_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/aliasshare"
+)
+
+func TestAliasShare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), aliasshare.Analyzer, "aliasshare/...")
+}

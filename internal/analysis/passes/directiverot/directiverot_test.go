@@ -1,0 +1,18 @@
+package directiverot_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis"
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/directiverot"
+	"jdvs/internal/analysis/passes/timerstop"
+)
+
+// TestDirectiveRot runs the audit behind a live owner (timerstop), the
+// way the checker always runs it: last, over the shared directive index.
+func TestDirectiveRot(t *testing.T) {
+	analysistest.RunSuite(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{timerstop.Analyzer, directiverot.Analyzer},
+		"directiverot/...")
+}

@@ -1,0 +1,51 @@
+// Package a seeds directive states: live, stale, unjustified, unknown.
+// The test runs the suite [timerstop, directiverot], so timer-ok
+// directives have a live owner.
+package a
+
+import "time"
+
+func work()          {}
+func done() chan int { return nil }
+
+// liveDirective suppresses a real timerstop finding and carries a
+// reason: both audits pass.
+func liveDirective(d time.Duration) {
+	for {
+		select {
+		case <-done():
+			return
+		//jdvs:timer-ok the loop exits after the first tick in every configuration
+		case <-time.After(d):
+			work()
+		}
+	}
+}
+
+// staleDirective excuses code that no longer violates anything.
+func staleDirective(d time.Duration) {
+	//jdvs:timer-ok this drain used to sit in the accept loop // want `suppresses no timerstop finding`
+	t := time.NewTimer(d)
+	<-t.C
+	work()
+}
+
+// unjustified suppresses a live finding but gives the next reader
+// nothing to re-evaluate.
+func unjustified(d time.Duration) {
+	for {
+		select {
+		case <-done():
+			return
+		/* want `has no justification` */ //jdvs:timer-ok
+		case <-time.After(d):
+			work()
+		}
+	}
+}
+
+// typoDirective names no analyzer.
+func typoDirective() {
+	//jdvs:timer-okk stop is deferred upstream // want `unknown directive`
+	work()
+}

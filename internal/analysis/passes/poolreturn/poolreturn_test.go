@@ -1,0 +1,12 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/poolreturn"
+)
+
+func TestPoolReturn(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolreturn.Analyzer, "poolreturn/...")
+}

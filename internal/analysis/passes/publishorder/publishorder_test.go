@@ -1,0 +1,12 @@
+package publishorder_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/publishorder"
+)
+
+func TestPublishOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), publishorder.Analyzer, "publishorder/...")
+}

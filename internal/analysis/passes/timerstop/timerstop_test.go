@@ -1,0 +1,12 @@
+package timerstop_test
+
+import (
+	"testing"
+
+	"jdvs/internal/analysis/analysistest"
+	"jdvs/internal/analysis/passes/timerstop"
+)
+
+func TestTimerStop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), timerstop.Analyzer, "timerstop/...")
+}

@@ -406,9 +406,12 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	// Bound before backing, the same order every reader uses; fresh is
+	// quiescent here, so this is for uniformity, not correctness.
+	length := fresh.length.Load()
 	ix.dir.Store(fresh.dir.Load())
 	ix.urlDir.Store(fresh.urlDir.Load())
 	ix.urlChunkN = fresh.urlChunkN
-	ix.length.Store(fresh.length.Load())
+	ix.length.Store(length)
 	return read, nil
 }

@@ -85,6 +85,9 @@ func (m *chunkMat[T]) Row(id uint32) []T {
 func (m *chunkMat[T]) replace(fresh *chunkMat[T]) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Bound before backing, matching Row's read order; fresh is
+	// quiescent here, so this is for uniformity, not correctness.
+	length := fresh.length.Load()
 	m.dir.Store(fresh.dir.Load())
-	m.length.Store(fresh.length.Load())
+	m.length.Store(length)
 }

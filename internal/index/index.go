@@ -1821,7 +1821,6 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 		}
 	}
 	s.pqState.Store(fresh)
-	s.coveredOffset.Store(covered)
 	// Rebuild the per-category bitmaps from the forward records. Stale
 	// generations (tombstoned by feature refreshes) keep their bits — their
 	// validity bit is 0, and admission intersects with validity — so a
@@ -1876,5 +1875,9 @@ func (s *Shard) LoadSnapshot(r io.Reader) error {
 	s.byURL = byURL
 	s.byProduct = byProduct
 	s.tabMu.Unlock()
+	// The watermark goes last: it claims the shard covers the queue up to
+	// `covered`, so every structure backing that claim must already be
+	// installed when a concurrent CoveredOffset call observes it.
+	s.coveredOffset.Store(covered)
 	return nil
 }

@@ -113,6 +113,7 @@ func (ix *Index) Append(c int, id uint32) error {
 	// Walk to the tail segment of the migration chain: new IDs always go to
 	// the most recent segment.
 	l := ix.lists[c].Load()
+	//jdvs:publish-ok Append holds ix.mu, the sole-writer lock; this is the writer locating its own tail, not a reader snapshot, so the length-before-pointer order is moot
 	for nx := l.next.Load(); nx != nil; nx = nx.next.Load() {
 		l = nx
 	}
